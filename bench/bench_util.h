@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: running
+ * a configured system over a trace and printing paper-style rows.
+ */
+
+#ifndef PROTEUS_BENCH_BENCH_UTIL_H_
+#define PROTEUS_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/serving_system.h"
+#include "models/model.h"
+#include "workload/trace.h"
+
+namespace proteus {
+namespace bench {
+
+/** Run one configured system over @p trace on the paper cluster. */
+inline RunResult
+runSystem(const Cluster& cluster, const ModelRegistry& registry,
+          SystemConfig config, const Trace& trace)
+{
+    ServingSystem system(&cluster, &registry, config);
+    return system.run(trace);
+}
+
+/** The five systems compared end-to-end in §6.2. */
+inline std::vector<AllocatorKind>
+endToEndSystems()
+{
+    return {AllocatorKind::ClipperHA, AllocatorKind::ClipperHT,
+            AllocatorKind::Sommelier, AllocatorKind::InfaasAccuracy,
+            AllocatorKind::ProteusIlp};
+}
+
+/** Append the §6.1.4 summary metrics of @p r as a table row. */
+inline void
+addSummaryRow(TextTable* table, const std::string& name,
+              const RunResult& r)
+{
+    table->addRow({name,
+                   fmtDouble(r.summary.avg_demand_qps, 1),
+                   fmtDouble(r.summary.avg_throughput_qps, 1),
+                   fmtPercent(r.summary.effective_accuracy, 2),
+                   fmtPercent(r.summary.max_accuracy_drop, 2),
+                   fmtDouble(r.summary.slo_violation_ratio, 4),
+                   std::to_string(r.summary.violations())});
+}
+
+/** Standard header matching addSummaryRow(). */
+inline void
+setSummaryHeader(TextTable* table)
+{
+    table->setHeader({"system", "demand_qps", "throughput_qps",
+                      "effective_acc", "max_acc_drop",
+                      "slo_violation_ratio", "violations"});
+}
+
+/** Print a timeseries (Fig. 4/5/7-style) for one system. */
+inline void
+printTimeseries(std::ostream& os, const std::string& name,
+                const RunResult& r)
+{
+    TextTable table;
+    table.setHeader({"t_s", "demand_qps", "throughput_qps",
+                     "effective_acc", "violations"});
+    for (const auto& snap : r.timeline) {
+        table.addRow({fmtDouble(toSeconds(snap.start), 0),
+                      fmtDouble(snap.demandQps(), 0),
+                      fmtDouble(snap.throughputQps(), 0),
+                      fmtPercent(snap.total.effectiveAccuracy(), 2),
+                      std::to_string(snap.total.violations())});
+    }
+    os << "--- timeseries: " << name << " ---\n";
+    table.print(os);
+}
+
+}  // namespace bench
+}  // namespace proteus
+
+#endif  // PROTEUS_BENCH_BENCH_UTIL_H_

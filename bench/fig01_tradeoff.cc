@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Figure 1 reproduction.
+ *
+ * (a) Accuracy vs. batch-1 throughput of the EfficientNet variants on
+ *     V100 / GTX 1080 Ti / CPU.
+ * (b) System accuracy vs. throughput capacity for all 5^5 = 3125
+ *     mappings of five EfficientNet variants onto five devices, with
+ *     the Pareto frontier marked.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/device.h"
+#include "common/table.h"
+#include "models/cost_model.h"
+#include "models/model.h"
+#include "models/profiler.h"
+
+namespace proteus {
+namespace {
+
+void
+figure1a(const Cluster& cluster, const StandardTypes& types,
+         const ModelRegistry& reg, const CostModel& cost)
+{
+    std::cout << "== Fig. 1a: accuracy vs batch-1 throughput "
+                 "(EfficientNet variants) ==\n";
+    TextTable table;
+    table.setHeader({"variant", "accuracy", "v100_qps", "gtx1080ti_qps",
+                     "cpu_qps"});
+    FamilyId eff = reg.findFamily("efficientnet");
+    for (VariantId v : reg.variantsOf(eff)) {
+        auto qps = [&](DeviceTypeId t) {
+            return 1.0 / (cost.latencyMs(t, v, 1) / 1000.0);
+        };
+        table.addRow({reg.variant(v).name,
+                      fmtPercent(reg.variant(v).accuracy, 1),
+                      fmtDouble(qps(types.v100), 1),
+                      fmtDouble(qps(types.gtx1080ti), 1),
+                      fmtDouble(qps(types.cpu), 2)});
+    }
+    table.print(std::cout);
+    (void)cluster;
+}
+
+struct Config {
+    double capacity = 0.0;
+    double accuracy = 0.0;
+    bool pareto = false;
+};
+
+void
+figure1b(const Cluster& cluster, const ModelRegistry& reg,
+         const ProfileStore& profiles)
+{
+    std::cout << "\n== Fig. 1b: all 3125 variant-to-device mappings "
+                 "(5 EfficientNet variants x 5 devices) ==\n";
+    FamilyId eff = reg.findFamily("efficientnet");
+    // Five variants (b0, b2, b4, b6, b7 span the range) and five
+    // devices: 1 CPU, 2 GTX 1080 Ti, 2 V100.
+    const auto& all = reg.variantsOf(eff);
+    std::vector<VariantId> variants{all[0], all[2], all[4], all[6],
+                                    all[7]};
+    std::vector<DeviceId> devices{0, 20, 21, 30, 31};
+
+    std::vector<Config> configs;
+    const int n = static_cast<int>(variants.size());
+    // Every device independently picks one of the five variants;
+    // capacity-weighted accuracy assuming each device serves at peak
+    // (paper: "all devices serve the maximum number of queries
+    // feasible without SLO violations").
+    int infeasible = 0;
+    for (int code = 0; code < 3125; ++code) {
+        int c = code;
+        Config cfg;
+        double acc_sum = 0.0;
+        bool ok = true;
+        for (DeviceId d : devices) {
+            VariantId v = variants[static_cast<std::size_t>(c % n)];
+            c /= n;
+            DeviceTypeId t = cluster.device(d).type;
+            double peak = profiles.get(v, t).peak_qps;
+            // A mapping that puts a variant on a device where it can
+            // never meet the SLO is not deployable.
+            ok &= peak > 0.0;
+            cfg.capacity += peak;
+            acc_sum += reg.variant(v).accuracy * peak;
+        }
+        if (!ok) {
+            ++infeasible;
+            continue;
+        }
+        cfg.accuracy = cfg.capacity > 0 ? acc_sum / cfg.capacity : 0.0;
+        configs.push_back(cfg);
+    }
+    std::cout << "mappings with an SLO-infeasible (variant, device) "
+                 "pair: " << infeasible << " of 3125 (excluded)\n";
+    // Pareto frontier: no other config with >= capacity and
+    // > accuracy (or > capacity and >= accuracy).
+    int pareto_count = 0;
+    for (auto& a : configs) {
+        a.pareto = true;
+        for (const auto& b : configs) {
+            if ((b.capacity > a.capacity && b.accuracy >= a.accuracy) ||
+                (b.capacity >= a.capacity && b.accuracy > a.accuracy)) {
+                a.pareto = false;
+                break;
+            }
+        }
+        pareto_count += a.pareto;
+    }
+    double min_cap = 1e18, max_cap = 0, min_acc = 101, max_acc = 0;
+    for (const auto& cfg : configs) {
+        min_cap = std::min(min_cap, cfg.capacity);
+        max_cap = std::max(max_cap, cfg.capacity);
+        min_acc = std::min(min_acc, cfg.accuracy);
+        max_acc = std::max(max_acc, cfg.accuracy);
+    }
+    std::cout << "configurations: " << configs.size()
+              << "  capacity range: [" << fmtDouble(min_cap, 0) << ", "
+              << fmtDouble(max_cap, 0) << "] QPS  accuracy range: ["
+              << fmtPercent(min_acc, 1) << ", " << fmtPercent(max_acc, 1)
+              << "]\n";
+    std::cout << "pareto-frontier configurations: " << pareto_count
+              << "\n";
+    TextTable table;
+    table.setHeader({"capacity_qps", "accuracy"});
+    std::vector<Config> frontier;
+    for (const auto& cfg : configs) {
+        if (cfg.pareto)
+            frontier.push_back(cfg);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const Config& a, const Config& b) {
+                  return a.capacity < b.capacity;
+              });
+    double last_cap = -1.0, last_acc = -1.0;
+    for (const auto& cfg : frontier) {
+        if (std::abs(cfg.capacity - last_cap) < 1e-9 &&
+            std::abs(cfg.accuracy - last_acc) < 1e-9) {
+            continue;  // permutation duplicate
+        }
+        last_cap = cfg.capacity;
+        last_acc = cfg.accuracy;
+        table.addRow({fmtDouble(cfg.capacity, 1),
+                      fmtPercent(cfg.accuracy, 2)});
+    }
+    table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace proteus
+
+int
+main()
+{
+    using namespace proteus;
+    StandardTypes types;
+    Cluster cluster = paperCluster(&types);
+    ModelRegistry reg = paperRegistry();
+    CostModel cost(cluster, reg);
+    ProfileStore profiles = profileModels(reg, cluster, cost);
+
+    figure1a(cluster, types, reg, cost);
+    figure1b(cluster, reg, profiles);
+    std::cout << "\nPaper shape check: lower-accuracy variants reach "
+                 "higher throughput on every device; V100 > 1080 Ti > "
+                 "CPU; only the Pareto frontier matters for "
+                 "provisioning (Fig. 1b).\n";
+    return 0;
+}

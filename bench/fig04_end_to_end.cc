@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 4 reproduction: end-to-end comparison of Proteus against
+ * Clipper-HA, Clipper-HT, Sommelier and INFaaS-Accuracy on the
+ * Twitter-like diurnal trace (§6.2), reporting demand/throughput
+ * timeseries, effective accuracy, maximum accuracy drop, SLO
+ * violations per interval and the averaged SLO violation ratio,
+ * plus the §6.2 headline ratios.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "workload/generators.h"
+
+int
+main()
+{
+    using namespace proteus;
+    using namespace proteus::bench;
+
+    Cluster cluster = paperCluster();
+    ModelRegistry reg = paperRegistry();
+
+    // 24 simulated minutes with two diurnal peaks that overload the
+    // cluster, as in the paper's sped-up trace.
+    DiurnalTraceConfig tc;
+    tc.duration = seconds(24 * 60);
+    tc.base_qps = 400.0;
+    tc.diurnal_amplitude_qps = 900.0;
+    Trace trace = diurnalTrace(reg.numFamilies(), tc);
+
+    std::cout << "== Fig. 4: end-to-end comparison (Twitter-like "
+                 "diurnal trace, "
+              << trace.size() << " queries, avg "
+              << fmtDouble(trace.averageQps(), 0) << " QPS) ==\n\n";
+
+    TextTable summary;
+    setSummaryHeader(&summary);
+    std::map<AllocatorKind, RunResult> results;
+    for (AllocatorKind kind : endToEndSystems()) {
+        SystemConfig cfg;
+        cfg.allocator = kind;
+        RunResult r = runSystem(cluster, reg, cfg, trace);
+        addSummaryRow(&summary, toString(kind), r);
+        results.emplace(kind, std::move(r));
+    }
+    summary.print(std::cout);
+
+    std::cout << "\n";
+    for (AllocatorKind kind :
+         {AllocatorKind::ClipperHA, AllocatorKind::ProteusIlp}) {
+        printTimeseries(std::cout, toString(kind), results.at(kind));
+        std::cout << "\n";
+    }
+
+    // §6.2 headline ratios.
+    const auto& proteus = results.at(AllocatorKind::ProteusIlp).summary;
+    const auto& ha = results.at(AllocatorKind::ClipperHA).summary;
+    const auto& infaas =
+        results.at(AllocatorKind::InfaasAccuracy).summary;
+    const auto& somm = results.at(AllocatorKind::Sommelier).summary;
+    auto ratio = [](double a, double b) {
+        return b > 0 ? a / b : 0.0;
+    };
+    std::cout << "== Sec. 6.2 headline comparisons ==\n";
+    std::cout << "throughput vs non-scaling Clipper-HA: "
+              << fmtDouble(ratio(proteus.avg_throughput_qps,
+                                 ha.avg_throughput_qps), 2)
+              << "x (paper: ~1.6x)\n";
+    std::cout << "violation ratio Clipper-HA / Proteus: "
+              << fmtDouble(ratio(ha.slo_violation_ratio,
+                                 proteus.slo_violation_ratio), 1)
+              << "x (paper: >10x)\n";
+    std::cout << "max accuracy drop INFaaS / Proteus: "
+              << fmtDouble(ratio(infaas.max_accuracy_drop,
+                                 proteus.max_accuracy_drop), 2)
+              << "x (paper: 2.8x)\n";
+    std::cout << "max accuracy drop Sommelier / Proteus: "
+              << fmtDouble(ratio(somm.max_accuracy_drop,
+                                 proteus.max_accuracy_drop), 2)
+              << "x (paper: 3.2x)\n";
+    std::cout << "violation ratio INFaaS / Proteus: "
+              << fmtDouble(ratio(infaas.slo_violation_ratio,
+                                 proteus.slo_violation_ratio), 2)
+              << "x (paper: 4.3x)\n";
+    std::cout << "violation ratio Sommelier / Proteus: "
+              << fmtDouble(ratio(somm.slo_violation_ratio,
+                                 proteus.slo_violation_ratio), 2)
+              << "x (paper: 2.8x)\n";
+    return 0;
+}

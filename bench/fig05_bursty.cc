@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 5 reproduction: responsiveness to a macro-scale bursty
+ * workload (§6.3) — flat low demand interleaved with flat high
+ * demand. INFaaS (decision on the critical path, zero delay) reacts
+ * fastest; Proteus shows a short violation spike when each burst
+ * starts, then recovers with lower violations and higher accuracy.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workload/generators.h"
+
+int
+main()
+{
+    using namespace proteus;
+    using namespace proteus::bench;
+
+    Cluster cluster = paperCluster();
+    ModelRegistry reg = paperRegistry();
+
+    BurstTraceConfig tc;
+    tc.duration = seconds(24 * 60);
+    tc.low_qps = 200.0;
+    tc.high_qps = 1150.0;
+    tc.phase = seconds(4 * 60);
+    Trace trace = burstTrace(reg.numFamilies(), tc);
+
+    std::cout << "== Fig. 5: responsiveness to bursty workload ("
+              << trace.size() << " queries, low " << tc.low_qps
+              << " / high " << tc.high_qps << " QPS, "
+              << toSeconds(tc.phase) << " s phases) ==\n\n";
+
+    TextTable summary;
+    setSummaryHeader(&summary);
+    for (AllocatorKind kind : endToEndSystems()) {
+        SystemConfig cfg;
+        cfg.allocator = kind;
+        RunResult r = runSystem(cluster, reg, cfg, trace);
+        addSummaryRow(&summary, toString(kind), r);
+        if (kind == AllocatorKind::ProteusIlp ||
+            kind == AllocatorKind::InfaasAccuracy) {
+            printTimeseries(std::cout, toString(kind), r);
+            std::cout << "\n";
+        }
+    }
+    summary.print(std::cout);
+    std::cout << "\nPaper shape check: both dynamic systems absorb the "
+                 "bursts; Proteus shows a short violation spike right "
+                 "after each step (its MILP runs off the critical "
+                 "path), then sustains higher effective accuracy.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 6 reproduction: adaptive-batching comparison in isolation
+ * (§6.4). Each batching algorithm (Proteus accscale, Clipper AIMD,
+ * Nexus early-drop) runs on top of the Proteus allocation, on three
+ * synthetic traces with identical aggregate QPS but uniform, Poisson
+ * and Gamma(0.05) inter-arrival times.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workload/generators.h"
+
+int
+main()
+{
+    using namespace proteus;
+    using namespace proteus::bench;
+
+    Cluster cluster = paperCluster();
+    ModelRegistry reg = paperRegistry();
+
+    const double qps = 800.0;
+    const Duration duration = seconds(6 * 60);
+
+    std::cout << "== Fig. 6: batching algorithms on a frozen Proteus "
+                 "allocation (" << qps << " QPS, "
+              << toSeconds(duration)
+              << " s per trace; the plan serves the demand exactly, "
+                 "as in the paper's setup) ==\n\n";
+
+    TextTable table;
+    table.setHeader({"arrivals", "proteus", "nexus_batching",
+                     "clipper_aimd"});
+    for (ArrivalProcess process :
+         {ArrivalProcess::Uniform, ArrivalProcess::Poisson,
+          ArrivalProcess::Gamma}) {
+        Trace trace = steadyTrace(reg.numFamilies(), qps, duration,
+                                  process, 606);
+        std::vector<std::string> row{toString(process)};
+        for (BatchingKind batching :
+             {BatchingKind::Proteus, BatchingKind::NexusEarlyDrop,
+              BatchingKind::ClipperAimd}) {
+            SystemConfig cfg;
+            cfg.allocator = AllocatorKind::ProteusIlp;
+            cfg.batching = batching;
+            // Isolate batching exactly as §6.4 does: the resource
+            // allocation is computed once for the trace's demand
+            // (sized to it, no slack) and never changed.
+            cfg.planning_headroom = 1.0;
+            cfg.control_period = seconds(1e6);
+            cfg.burst_threshold = 1e9;
+            RunResult r = runSystem(cluster, reg, cfg, trace);
+            row.push_back(fmtDouble(r.summary.slo_violation_ratio, 4));
+        }
+        table.addRow(std::move(row));
+    }
+    std::cout << "SLO violation ratio by batching policy:\n";
+    table.print(std::cout);
+    std::cout << "\nPaper shape check: all three are close on uniform "
+                 "arrivals; on Poisson and Gamma (micro-bursty) "
+                 "arrivals the proactive non-work-conserving Proteus "
+                 "policy has the fewest violations, Nexus (work-"
+                 "conserving) ~2-3x more, Clipper AIMD (reactive) "
+                 "~4x more.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 8 reproduction: sensitivity to the latency SLO (§6.6). The
+ * per-family SLO multiplier sweeps 1x..3.5x of the fastest CPU
+ * variant's batch-1 latency; each system reports average throughput,
+ * maximum accuracy drop and SLO violation ratio.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workload/generators.h"
+
+int
+main()
+{
+    using namespace proteus;
+    using namespace proteus::bench;
+
+    Cluster cluster = paperCluster();
+    ModelRegistry reg = paperRegistry();
+
+    DiurnalTraceConfig tc;
+    tc.duration = seconds(8 * 60);
+    tc.base_qps = 400.0;
+    tc.diurnal_amplitude_qps = 900.0;
+    tc.cycles = 1.0;
+    Trace trace = diurnalTrace(reg.numFamilies(), tc);
+
+    std::cout << "== Fig. 8: sensitivity to latency SLO ("
+              << trace.size() << " queries per run) ==\n\n";
+
+    for (const char* metric :
+         {"avg_throughput_qps", "max_accuracy_drop",
+          "slo_violation_ratio"}) {
+        std::cout << "-- " << metric << " --\n";
+        TextTable table;
+        table.setHeader({"system", "1.0x", "1.5x", "2.0x", "2.5x",
+                         "3.0x", "3.5x"});
+        for (AllocatorKind kind : endToEndSystems()) {
+            std::vector<std::string> row{toString(kind)};
+            for (double mult : {1.0, 1.5, 2.0, 2.5, 3.0, 3.5}) {
+                SystemConfig cfg;
+                cfg.allocator = kind;
+                cfg.slo_multiplier = mult;
+                RunResult r = runSystem(cluster, reg, cfg, trace);
+                double value = 0.0;
+                if (std::string(metric) == "avg_throughput_qps")
+                    value = r.summary.avg_throughput_qps;
+                else if (std::string(metric) == "max_accuracy_drop")
+                    value = r.summary.max_accuracy_drop;
+                else
+                    value = r.summary.slo_violation_ratio;
+                row.push_back(fmtDouble(value,
+                    std::string(metric) == "slo_violation_ratio" ? 4
+                                                                 : 1));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Paper shape check: as the SLO loosens, violations "
+                 "fall and throughput rises for every system; "
+                 "Proteus's maximum accuracy drop shrinks with larger "
+                 "SLOs (slower, more accurate variants become "
+                 "feasible) while Clipper's stays flat.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 9 reproduction: per-model-family breakdown of Proteus on the
+ * Twitter-like trace (§6.7): throughput, effective accuracy and SLO
+ * violations per family. The Zipf split gives every family a
+ * different demand level; heavy families carry more weight in the
+ * system-level accuracy objective.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "workload/generators.h"
+
+int
+main()
+{
+    using namespace proteus;
+    using namespace proteus::bench;
+
+    Cluster cluster = paperCluster();
+    ModelRegistry reg = paperRegistry();
+
+    DiurnalTraceConfig tc;
+    tc.duration = seconds(24 * 60);
+    tc.base_qps = 400.0;
+    tc.diurnal_amplitude_qps = 900.0;
+    Trace trace = diurnalTrace(reg.numFamilies(), tc);
+
+    SystemConfig cfg;
+    RunResult r = runSystem(cluster, reg, cfg, trace);
+
+    std::cout << "== Fig. 9: Proteus per-family breakdown ("
+              << trace.size() << " queries) ==\n\n";
+    TextTable table;
+    table.setHeader({"family", "demand_qps", "throughput_qps",
+                     "effective_acc", "violations",
+                     "violation_ratio"});
+    double span_s = toSeconds(trace.endTime());
+    for (FamilyId f = 0; f < reg.numFamilies(); ++f) {
+        const auto& c = r.family_totals[f];
+        double vio_ratio =
+            c.arrivals ? static_cast<double>(c.violations()) /
+                             static_cast<double>(c.arrivals)
+                       : 0.0;
+        table.addRow({reg.family(f).name,
+                      fmtDouble(c.arrivals / span_s, 1),
+                      fmtDouble(c.completed() / span_s, 1),
+                      fmtPercent(c.effectiveAccuracy(), 2),
+                      std::to_string(c.violations()),
+                      fmtDouble(vio_ratio, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper shape check: the Zipf split gives each "
+                 "family a different throughput level; light-demand "
+                 "families (low Zipf rank) see larger accuracy "
+                 "variation because they carry little weight in the "
+                 "system-level objective, while violation behaviour "
+                 "stays comparatively even (batching works "
+                 "per-device).\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 3 reproduction: the model families and variants registered in
+ * the zoo, extended with the profiled SLOs and peak throughputs that
+ * drive the evaluation.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "models/cost_model.h"
+#include "models/model.h"
+#include "models/profiler.h"
+
+int
+main()
+{
+    using namespace proteus;
+    StandardTypes types;
+    Cluster cluster = paperCluster(&types);
+    ModelRegistry reg = paperRegistry();
+    CostModel cost(cluster, reg);
+    ProfileStore profiles = profileModels(reg, cluster, cost);
+
+    std::cout << "== Table 3: model families and variants ==\n";
+    TextTable table;
+    table.setHeader({"family", "task", "variant", "gflops", "params_M",
+                     "norm_acc", "slo_ms", "peak_v100_qps",
+                     "peak_cpu_qps"});
+    for (FamilyId f = 0; f < reg.numFamilies(); ++f) {
+        for (VariantId v : reg.variantsOf(f)) {
+            const auto& spec = reg.variant(v);
+            table.addRow({reg.family(f).name, reg.family(f).task,
+                          spec.name, fmtDouble(spec.gflops, 2),
+                          fmtDouble(spec.params_m, 1),
+                          fmtPercent(spec.accuracy, 1),
+                          fmtDouble(toMillis(profiles.slo(f)), 1),
+                          fmtDouble(profiles.get(v, types.v100).peak_qps,
+                                    1),
+                          fmtDouble(profiles.get(v, types.cpu).peak_qps,
+                                    1)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nfamilies: " << reg.numFamilies()
+              << "  variants: " << reg.numVariants() << "\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Flash-crowd scenario: demand steps from calm to 5x within a second
+ * (e.g. a viral event). Shows the control-path timeline: burst alarm,
+ * MILP decision delay, accuracy scaling kicking in, recovery.
+ *
+ *   $ ./examples/burst_absorption
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "core/serving_system.h"
+#include "models/model.h"
+#include "workload/generators.h"
+
+int
+main()
+{
+    using namespace proteus;
+
+    Cluster cluster = paperCluster();
+    ModelRegistry registry = paperRegistry();
+
+    // Flat 250 QPS, one 4x burst for two minutes, then calm again.
+    BurstTraceConfig tc;
+    tc.duration = seconds(6 * 60);
+    tc.low_qps = 250.0;
+    tc.high_qps = 1000.0;
+    tc.phase = seconds(2 * 60);
+    Trace trace = burstTrace(registry.numFamilies(), tc);
+
+    SystemConfig cfg;
+    cfg.snapshot_interval = seconds(10.0);
+    ServingSystem system(&cluster, &registry, cfg);
+    RunResult r = system.run(trace);
+
+    std::cout << "flash crowd: " << tc.low_qps << " -> " << tc.high_qps
+              << " QPS steps every " << toSeconds(tc.phase)
+              << " s\n\n";
+    TextTable table;
+    table.setHeader({"t_s", "demand_qps", "throughput_qps",
+                     "effective_acc", "violations"});
+    for (const auto& snap : r.timeline) {
+        table.addRow({fmtDouble(toSeconds(snap.start), 0),
+                      fmtDouble(snap.demandQps(), 0),
+                      fmtDouble(snap.throughputQps(), 0),
+                      fmtPercent(snap.total.effectiveAccuracy(), 2),
+                      std::to_string(snap.total.violations())});
+    }
+    table.print(std::cout);
+    std::cout << "\nWatch the effective accuracy dip during the burst "
+                 "phases (accuracy scaling absorbing load the most "
+                 "accurate variants could not serve) and recover in "
+                 "the calm phases. The short violation spike at each "
+                 "step is the decoupled control path reacting (burst "
+                 "alarm + MILP decision delay, paper Fig. 5).\n";
+    return 0;
+}

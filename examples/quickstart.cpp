@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: register applications (model families), build a
+ * heterogeneous cluster, run an inference workload through Proteus
+ * and read the results.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/serving_system.h"
+#include "models/model.h"
+#include "workload/generators.h"
+
+int
+main()
+{
+    using namespace proteus;
+
+    // 1. A heterogeneous cluster: 4 CPUs, 2 GTX 1080 Ti, 2 V100.
+    Cluster cluster;
+    StandardTypes types = addStandardTypes(&cluster);
+    cluster.addDevices(types.cpu, 4);
+    cluster.addDevices(types.gtx1080ti, 2);
+    cluster.addDevices(types.v100, 2);
+
+    // 2. Register applications. Each model family is one query type;
+    //    here: the ResNet, EfficientNet and MobileNet classifiers.
+    ModelRegistry registry;
+    for (const auto& family : miniModelZoo())
+        registry.registerFamily(family);
+
+    // 3. Configure the system. Defaults give you the full Proteus:
+    //    MILP resource manager + proactive adaptive batching.
+    SystemConfig config;
+    config.slo_multiplier = 2.0;              // SLO = 2x fastest CPU
+    config.control_period = seconds(30.0);    // MILP invocation period
+
+    // 4. A workload: 80 QPS Poisson arrivals, Zipf across families.
+    Trace trace = steadyTrace(registry.numFamilies(), 80.0,
+                              seconds(120.0), ArrivalProcess::Poisson);
+
+    // 5. Run and inspect.
+    ServingSystem system(&cluster, &registry, config);
+    RunResult result = system.run(trace);
+
+    std::cout << "queries        : " << result.summary.arrivals << "\n"
+              << "served in SLO  : " << result.summary.served << "\n"
+              << "served late    : " << result.summary.served_late << "\n"
+              << "dropped        : " << result.summary.dropped << "\n"
+              << "throughput     : "
+              << result.summary.avg_throughput_qps << " QPS\n"
+              << "effective acc. : "
+              << result.summary.effective_accuracy << " %\n"
+              << "max acc. drop  : "
+              << result.summary.max_accuracy_drop << " %\n"
+              << "SLO violations : "
+              << result.summary.slo_violation_ratio * 100.0 << " %\n"
+              << "mean batch     : " << result.mean_batch_size << "\n"
+              << "re-allocations : " << result.reallocations << "\n";
+    return 0;
+}

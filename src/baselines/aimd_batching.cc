@@ -1,0 +1,55 @@
+#include "baselines/aimd_batching.h"
+
+#include <algorithm>
+
+namespace proteus {
+
+BatchAction
+AimdBatching::decide(const WorkerView& view)
+{
+    BatchAction action;
+    const auto& queue = *view.queue;
+    if (queue.empty())
+        return action;
+
+    // AIMD probes beyond the SLO-safe batch size on purpose; it is
+    // only capped by what the device memory fits (the profiled range).
+    const int hard_cap =
+        static_cast<int>(view.profile->latency.size());
+    if (target_ == 0)
+        target_ = std::min(options_.initial_batch, hard_cap);
+    target_ = std::min(target_, hard_cap);
+
+    if (static_cast<int>(queue.size()) >= target_) {
+        action.execute = target_;
+        return action;
+    }
+    // Not enough queries for a full batch: wait a fixed fraction of
+    // the SLO from the head query's arrival, then flush.
+    const Time flush_at =
+        queue.front()->arrival +
+        static_cast<Duration>(static_cast<double>(view.slo) *
+                              options_.wait_slo_frac);
+    if (view.now >= flush_at) {
+        action.execute = static_cast<int>(queue.size());
+        return action;
+    }
+    action.wake_at = flush_at;
+    return action;
+}
+
+void
+AimdBatching::onBatchOutcome(int batch_size, bool any_violation)
+{
+    (void)batch_size;
+    if (target_ == 0)
+        return;
+    if (any_violation) {
+        target_ = std::max(
+            1, static_cast<int>(target_ * options_.decrease));
+    } else {
+        target_ += options_.increase;
+    }
+}
+
+}  // namespace proteus

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Clipper baseline (paper §6.1.1): a fully static system.
+ *
+ * Clipper pre-loads one resource allocation at the start of the
+ * experiment and never adapts. Following the paper, the initial plan
+ * is computed with the Proteus MILP restricted to a single pinned
+ * variant per family: the least accurate (Clipper-HT, maximizing
+ * throughput) or the most accurate (Clipper-HA, maximizing serving
+ * accuracy). Clipper is also representative of TensorFlow-Serving
+ * and Triton, which likewise leave cluster-level adaptation to the
+ * application developer.
+ */
+
+#ifndef PROTEUS_BASELINES_CLIPPER_H_
+#define PROTEUS_BASELINES_CLIPPER_H_
+
+#include "core/ilp_allocator.h"
+
+namespace proteus {
+
+/** Variant-pinning mode for the static Clipper plan. */
+enum class ClipperMode {
+    HighThroughput,  ///< pin the least accurate (fastest) variants
+    HighAccuracy,    ///< pin the most accurate variants
+};
+
+/** Static allocator: computes one plan and returns it forever. */
+class ClipperAllocator : public Allocator
+{
+  public:
+    ClipperAllocator(const ModelRegistry* registry,
+                     const Cluster* cluster,
+                     const ProfileStore* profiles, ClipperMode mode,
+                     IlpAllocatorOptions options = {});
+
+    Allocation allocate(const AllocationInput& input) override;
+
+    /** The static plan is precomputed; applying it is instant. */
+    Duration decisionDelay() const override { return 0; }
+
+    const char*
+    name() const override
+    {
+        return mode_ == ClipperMode::HighThroughput ? "clipper-ht"
+                                                    : "clipper-ha";
+    }
+
+  private:
+    const ModelRegistry* registry_;
+    ClipperMode mode_;
+    IlpAllocator inner_;
+    Allocation plan_;
+    bool has_plan_ = false;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_BASELINES_CLIPPER_H_

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Sommelier baseline (paper §6.1.1): partially dynamic.
+ *
+ * Sommelier can swap a hosted model variant for a less/more accurate
+ * one on a given device (model selection) but performs no
+ * cluster-level placement: the initial device-to-family assignment —
+ * obtained, as the paper does, from the Proteus MILP — stays frozen
+ * for the rest of the run. This is identical to the "Proteus w/o MP"
+ * ablation of §6.5. Sommelier also lacks adaptive batching by
+ * itself; like the paper, we run it with Proteus's batching.
+ */
+
+#ifndef PROTEUS_BASELINES_SOMMELIER_H_
+#define PROTEUS_BASELINES_SOMMELIER_H_
+
+#include "core/ilp_allocator.h"
+
+namespace proteus {
+
+/** Selection-only allocator with frozen model placement. */
+class SommelierAllocator : public IlpAllocator
+{
+  public:
+    SommelierAllocator(const ModelRegistry* registry,
+                       const Cluster* cluster,
+                       const ProfileStore* profiles,
+                       IlpAllocatorOptions options = {});
+
+    Allocation allocate(const AllocationInput& input) override;
+
+    const char* name() const override { return "sommelier"; }
+
+  private:
+    bool frozen_ = false;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_BASELINES_SOMMELIER_H_

@@ -1,0 +1,108 @@
+#include "cluster/device.h"
+
+#include "common/logging.h"
+
+namespace proteus {
+
+DeviceTypeId
+Cluster::addDeviceType(DeviceTypeInfo info)
+{
+    PROTEUS_ASSERT(info.overhead_ms >= 0.0 && info.gflops_per_ms > 0.0 &&
+                       info.batch_efficiency > 0.0 &&
+                       info.batch_efficiency <= 1.0 &&
+                       info.memory_mb > 0.0,
+                   "invalid device type ", info.name);
+    types_.push_back(std::move(info));
+    count_per_type_.push_back(0);
+    return static_cast<DeviceTypeId>(types_.size() - 1);
+}
+
+void
+Cluster::addDevices(DeviceTypeId type, int count)
+{
+    PROTEUS_ASSERT(type < types_.size(), "unknown device type ", type);
+    PROTEUS_ASSERT(count >= 0, "negative device count");
+    for (int i = 0; i < count; ++i) {
+        Device d;
+        d.id = static_cast<DeviceId>(devices_.size());
+        d.type = type;
+        devices_.push_back(d);
+    }
+    count_per_type_[type] += count;
+}
+
+const DeviceTypeInfo&
+Cluster::typeInfo(DeviceTypeId t) const
+{
+    PROTEUS_ASSERT(t < types_.size(), "unknown device type ", t);
+    return types_[t];
+}
+
+const Device&
+Cluster::device(DeviceId d) const
+{
+    PROTEUS_ASSERT(d < devices_.size(), "unknown device ", d);
+    return devices_[d];
+}
+
+int
+Cluster::countOfType(DeviceTypeId t) const
+{
+    PROTEUS_ASSERT(t < types_.size(), "unknown device type ", t);
+    return count_per_type_[t];
+}
+
+std::vector<DeviceId>
+Cluster::devicesOfType(DeviceTypeId t) const
+{
+    std::vector<DeviceId> out;
+    for (const auto& d : devices_) {
+        if (d.type == t)
+            out.push_back(d.id);
+    }
+    return out;
+}
+
+StandardTypes
+addStandardTypes(Cluster* cluster)
+{
+    StandardTypes t;
+    t.cpu = cluster->addDeviceType(DeviceTypeInfo{
+        "xeon-6126", /*overhead_ms=*/5.0, /*gflops_per_ms=*/0.008,
+        /*batch_efficiency=*/0.90, /*memory_mb=*/65536.0});
+    t.gtx1080ti = cluster->addDeviceType(DeviceTypeInfo{
+        "gtx-1080ti", /*overhead_ms=*/8.0, /*gflops_per_ms=*/0.32,
+        /*batch_efficiency=*/0.35, /*memory_mb=*/11264.0});
+    t.v100 = cluster->addDeviceType(DeviceTypeInfo{
+        "v100", /*overhead_ms=*/6.0, /*gflops_per_ms=*/0.45,
+        /*batch_efficiency=*/0.25, /*memory_mb=*/16384.0});
+    return t;
+}
+
+Cluster
+paperCluster(StandardTypes* types_out)
+{
+    Cluster c;
+    StandardTypes t = addStandardTypes(&c);
+    c.addDevices(t.cpu, 20);
+    c.addDevices(t.gtx1080ti, 10);
+    c.addDevices(t.v100, 10);
+    if (types_out)
+        *types_out = t;
+    return c;
+}
+
+Cluster
+edgeCluster(StandardTypes* types_out)
+{
+    Cluster c;
+    StandardTypes t = addStandardTypes(&c);
+    c.addDevices(t.cpu, 4);
+    c.addDevices(t.gtx1080ti, 2);
+    c.addDevices(t.v100, 1);
+    if (types_out)
+        *types_out = t;
+    return c;
+}
+
+}  // namespace proteus

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Hardware model: device types and the heterogeneous cluster.
+ *
+ * The paper's testbed (§6.1.5) is 20 Xeon Gold 6126 CPU workers, 10
+ * GTX 1080 Ti and 10 V100 GPU workers. Device types here carry the
+ * analytic performance parameters the synthetic cost model needs
+ * (DESIGN.md, substitution table): fixed per-batch overhead, effective
+ * compute throughput, a batching-amortization factor and memory
+ * capacity. Types are an open set so tests and users can define
+ * additional hardware.
+ */
+
+#ifndef PROTEUS_CLUSTER_DEVICE_H_
+#define PROTEUS_CLUSTER_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proteus {
+
+/** Index into the cluster's device-type table. */
+using DeviceTypeId = std::uint32_t;
+
+/** Performance/capacity description of one hardware type. */
+struct DeviceTypeInfo {
+    std::string name;
+    /** Fixed per-batch overhead (launch, transfer) in milliseconds. */
+    double overhead_ms = 1.0;
+    /** Effective DNN compute throughput in GFLOPs per millisecond. */
+    double gflops_per_ms = 1.0;
+    /**
+     * Marginal cost of each additional batched item relative to the
+     * first (0 < eff <= 1). GPUs amortize well (small values), CPUs
+     * barely (close to 1).
+     */
+    double batch_efficiency = 1.0;
+    /** Device memory available for weights + activations, in MB. */
+    double memory_mb = 1024.0;
+};
+
+/** One physical worker device. */
+struct Device {
+    DeviceId id = kInvalidId;
+    DeviceTypeId type = kInvalidId;
+};
+
+/** The (fixed-size) heterogeneous cluster. */
+class Cluster
+{
+  public:
+    /** Register a device type. @return its id. */
+    DeviceTypeId addDeviceType(DeviceTypeInfo info);
+
+    /** Add @p count devices of type @p type. */
+    void addDevices(DeviceTypeId type, int count);
+
+    /** @return the number of device types. */
+    std::size_t numTypes() const { return types_.size(); }
+
+    /** @return the number of devices. */
+    std::size_t numDevices() const { return devices_.size(); }
+
+    /** @return the type table entry @p t. */
+    const DeviceTypeInfo& typeInfo(DeviceTypeId t) const;
+
+    /** @return device @p d. */
+    const Device& device(DeviceId d) const;
+
+    /** @return all devices. */
+    const std::vector<Device>& devices() const { return devices_; }
+
+    /** @return the number of devices of type @p t. */
+    int countOfType(DeviceTypeId t) const;
+
+    /** @return ids of all devices of type @p t. */
+    std::vector<DeviceId> devicesOfType(DeviceTypeId t) const;
+
+  private:
+    std::vector<DeviceTypeInfo> types_;
+    std::vector<Device> devices_;
+    std::vector<int> count_per_type_;
+};
+
+/**
+ * Standard device types used throughout the evaluation, calibrated so
+ * relative per-variant latencies follow the shape of Fig. 1a
+ * (V100 fastest, then GTX 1080 Ti, CPU slowest; GPUs amortize
+ * batching far better than CPUs).
+ */
+struct StandardTypes {
+    DeviceTypeId cpu;
+    DeviceTypeId gtx1080ti;
+    DeviceTypeId v100;
+};
+
+/** Register the three standard types on @p cluster. */
+StandardTypes addStandardTypes(Cluster* cluster);
+
+/**
+ * Build the paper's evaluation cluster: 20 CPUs, 10 GTX 1080 Ti, 10
+ * V100 (§6.1.5).
+ */
+Cluster paperCluster(StandardTypes* types_out = nullptr);
+
+/** Build a small edge cluster (4 CPUs, 2 GTX 1080 Ti, 1 V100). */
+Cluster edgeCluster(StandardTypes* types_out = nullptr);
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CLUSTER_DEVICE_H_

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace proteus {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string& tag, const std::string& msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(g_level))
+        return;
+    std::cerr << "[" << tag << "] " << msg << "\n";
+}
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+fatalImpl(const std::string& msg)
+{
+    std::cerr << "fatal: " << msg << "\n";
+    std::exit(1);
+}
+
+}  // namespace detail
+
+}  // namespace proteus

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: panic() flags an internal invariant
+ * violation (a bug in this library) and aborts; fatal() flags a user
+ * error (bad configuration) and exits cleanly with a non-zero status.
+ * inform()/warn() emit status messages and never stop execution.
+ */
+
+#ifndef PROTEUS_COMMON_LOGGING_H_
+#define PROTEUS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace proteus {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent, Warn, Info, Debug };
+
+/** Set the global log verbosity. Default is Warn. */
+void setLogLevel(LogLevel level);
+
+/** @return the current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& tag, const std::string& msg);
+
+[[noreturn]] void panicImpl(const char* file, int line,
+                            const std::string& msg);
+[[noreturn]] void fatalImpl(const std::string& msg);
+
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+}  // namespace detail
+
+/** Emit an informational message (shown at Info verbosity and above). */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::emit(LogLevel::Info, "info",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a warning (shown at Warn verbosity and above). */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::emit(LogLevel::Warn, "warn",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a debug message (shown only at Debug verbosity). */
+template <typename... Args>
+void
+debugLog(Args&&... args)
+{
+    detail::emit(LogLevel::Debug, "debug",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort: something happened that should never happen (library bug). */
+#define PROTEUS_PANIC(...)                                                  \
+    ::proteus::detail::panicImpl(__FILE__, __LINE__,                        \
+                                 ::proteus::detail::concat(__VA_ARGS__))
+
+/** Exit with an error: the user supplied an invalid configuration. */
+#define PROTEUS_FATAL(...)                                                  \
+    ::proteus::detail::fatalImpl(::proteus::detail::concat(__VA_ARGS__))
+
+/** Check an internal invariant; panics with the message when violated. */
+#define PROTEUS_ASSERT(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            PROTEUS_PANIC("assertion failed: ", #cond, " ",                 \
+                          ::proteus::detail::concat(__VA_ARGS__));          \
+        }                                                                   \
+    } while (false)
+
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_LOGGING_H_

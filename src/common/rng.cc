@@ -1,0 +1,54 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace proteus {
+
+std::size_t
+Rng::pickWeighted(const std::vector<double>& weights)
+{
+    PROTEUS_ASSERT(!weights.empty(), "pickWeighted on empty weights");
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    PROTEUS_ASSERT(total > 0.0, "pickWeighted needs positive total weight");
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double alpha)
+{
+    PROTEUS_ASSERT(n > 0, "Zipf over zero ranks");
+    pmf_.resize(n);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        pmf_[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        norm += pmf_[i];
+    }
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        pmf_[i] /= norm;
+        acc += pmf_[i];
+        cdf_[i] = acc;
+    }
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+ZipfDistribution::sample(Rng& rng) const
+{
+    double r = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+    return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace proteus

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic random-number generation for workload synthesis and
+ * randomized tests.
+ *
+ * All stochastic components of the library draw from an explicitly
+ * seeded Rng instance so that every experiment is reproducible.
+ */
+
+#ifndef PROTEUS_COMMON_RNG_H_
+#define PROTEUS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace proteus {
+
+/**
+ * Seedable random source wrapping a Mersenne twister with the
+ * distributions the workload generators need.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; the default gives a fixed run. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : engine_(seed)
+    {}
+
+    /** @return a double uniform in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /** @return a double uniform in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** @return an integer uniform in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /** @return an exponential sample with the given rate (events/unit). */
+    double
+    exponential(double rate)
+    {
+        return std::exponential_distribution<double>(rate)(engine_);
+    }
+
+    /** @return a gamma sample with the given shape and scale. */
+    double
+    gamma(double shape, double scale)
+    {
+        return std::gamma_distribution<double>(shape, scale)(engine_);
+    }
+
+    /** @return a normal sample with the given mean and stddev. */
+    double
+    normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** @return a Poisson sample with the given mean. */
+    std::int64_t
+    poisson(double mean)
+    {
+        return std::poisson_distribution<std::int64_t>(mean)(engine_);
+    }
+
+    /** @return an index drawn from the given (unnormalized) weights. */
+    std::size_t pickWeighted(const std::vector<double>& weights);
+
+    /** Access the underlying engine (for std::shuffle etc.). */
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+/**
+ * Zipf distribution over ranks 1..n with exponent alpha, used to split
+ * query demand across model families as in the paper (alpha = 1.001).
+ */
+class ZipfDistribution
+{
+  public:
+    ZipfDistribution(std::size_t n, double alpha);
+
+    /** @return a rank in [0, n) sampled from the distribution. */
+    std::size_t sample(Rng& rng) const;
+
+    /** @return the probability mass of rank @p i (0-based). */
+    double pmf(std::size_t i) const { return pmf_[i]; }
+
+    /** @return the number of ranks. */
+    std::size_t size() const { return pmf_.size(); }
+
+  private:
+    std::vector<double> pmf_;
+    std::vector<double> cdf_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_RNG_H_

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Small statistics helpers: online mean/variance, exponentially
+ * weighted moving averages, sliding-window rate estimation and
+ * percentiles. Used by the monitoring daemons and the metrics layer.
+ */
+
+#ifndef PROTEUS_COMMON_STATS_H_
+#define PROTEUS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proteus {
+
+/** Welford online mean / variance accumulator. */
+class OnlineStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** @return the number of samples seen. */
+    std::size_t count() const { return count_; }
+
+    /** @return the running mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** @return the running population variance (0 when < 2 samples). */
+    double variance() const;
+
+    /** @return the running standard deviation. */
+    double stddev() const;
+
+    /** @return the smallest sample seen (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** @return the largest sample seen (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Exponentially weighted moving average with configurable smoothing. */
+class Ewma
+{
+  public:
+    /** @param alpha weight of the newest observation in (0, 1]. */
+    explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+    /** Fold one observation into the average. */
+    void add(double x);
+
+    /** @return the current average (0 before the first sample). */
+    double value() const { return value_; }
+
+    /** @return true once at least one sample has been folded in. */
+    bool initialized() const { return initialized_; }
+
+    /** Reset to the uninitialized state. */
+    void reset();
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool initialized_ = false;
+};
+
+/**
+ * Sliding-window event counter used to estimate query demand (QPS)
+ * over the most recent window of simulated time.
+ */
+class WindowedRate
+{
+  public:
+    /** @param window length of the observation window. */
+    explicit WindowedRate(Duration window = seconds(1.0))
+        : window_(window)
+    {}
+
+    /** Record one event at time @p now. */
+    void record(Time now);
+
+    /** @return events per second over [now - window, now]. */
+    double rate(Time now) const;
+
+    /** @return raw event count inside the window ending at @p now. */
+    std::size_t countInWindow(Time now) const;
+
+  private:
+    void evict(Time now) const;
+
+    Duration window_;
+    mutable std::deque<Time> events_;
+};
+
+/** @return the p-th percentile (0..100) of @p values; 0 when empty. */
+double percentile(std::vector<double> values, double p);
+
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_STATS_H_

@@ -1,0 +1,86 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace proteus {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::size_t cols = header_.size();
+    for (const auto& r : rows_)
+        cols = std::max(cols, r.size());
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    measure(header_);
+    for (const auto& r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            os << std::left << std::setw(static_cast<int>(width[i] + 2))
+               << cell;
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (auto w : width)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto& r : rows_)
+        emit(r);
+}
+
+void
+TextTable::printCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ",";
+            os << row[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto& r : rows_)
+        emit(r);
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(digits) << v;
+    return oss.str();
+}
+
+std::string
+fmtPercent(double v, int digits)
+{
+    return fmtDouble(v, digits) + "%";
+}
+
+}  // namespace proteus

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Column-aligned plain-text table printer used by the benchmark
+ * harnesses to reproduce the rows/series of the paper's figures and
+ * tables, plus a minimal CSV writer for offline plotting.
+ */
+
+#ifndef PROTEUS_COMMON_TABLE_H_
+#define PROTEUS_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace proteus {
+
+/** Accumulates rows of string cells and prints them column-aligned. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table to @p os with aligned columns. */
+    void print(std::ostream& os) const;
+
+    /** Render the table to @p os as CSV. */
+    void printCsv(std::ostream& os) const;
+
+    /** @return number of data rows (excluding the header). */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits fractional digits. */
+std::string fmtDouble(double v, int digits = 2);
+
+/** Format a percentage with @p digits fractional digits and a % sign. */
+std::string fmtPercent(double v, int digits = 1);
+
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_TABLE_H_

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Proteus code base.
+ *
+ * Simulation time is kept in integer microseconds so that event ordering
+ * is exact and reproducible; helpers convert to and from seconds and
+ * milliseconds at the edges of the system.
+ */
+
+#ifndef PROTEUS_COMMON_TYPES_H_
+#define PROTEUS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace proteus {
+
+/** Simulation time in microseconds since the start of the run. */
+using Time = std::int64_t;
+
+/** Duration in microseconds. */
+using Duration = std::int64_t;
+
+/** Sentinel for "no time scheduled". */
+inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+
+/** Largest representable time; used as "never". */
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+/** @return the duration corresponding to @p s seconds. */
+constexpr Duration
+seconds(double s)
+{
+    return static_cast<Duration>(s * 1e6);
+}
+
+/** @return the duration corresponding to @p ms milliseconds. */
+constexpr Duration
+millis(double ms)
+{
+    return static_cast<Duration>(ms * 1e3);
+}
+
+/** @return the duration corresponding to @p us microseconds. */
+constexpr Duration
+micros(std::int64_t us)
+{
+    return us;
+}
+
+/** @return @p t expressed in (fractional) seconds. */
+constexpr double
+toSeconds(Time t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** @return @p t expressed in (fractional) milliseconds. */
+constexpr double
+toMillis(Time t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+/** Identifier of a physical device (worker) in the cluster. */
+using DeviceId = std::uint32_t;
+
+/** Identifier of a model variant (unique across families). */
+using VariantId = std::uint32_t;
+
+/** Identifier of a model family; one family per query type. */
+using FamilyId = std::uint32_t;
+
+/** Identifier of an inference query. */
+using QueryId = std::uint64_t;
+
+/** Sentinel for invalid 32-bit ids. */
+inline constexpr std::uint32_t kInvalidId =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_TYPES_H_

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Experiment configuration: which allocator and batching policy to
+ * run, SLO settings and control-loop timing. Mirrors the JSON config
+ * of the paper's artifact (model_allocation: ilp / infaas_v2 /
+ * clipper / sommelier; batching: accscale / aimd / nexus).
+ */
+
+#ifndef PROTEUS_CORE_CONFIG_H_
+#define PROTEUS_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace proteus {
+
+/** Resource-allocation policies available to a ServingSystem. */
+enum class AllocatorKind {
+    ProteusIlp,      ///< the paper's MILP resource manager ("ilp")
+    InfaasAccuracy,  ///< greedy INFaaS-Accuracy ("infaas_v2")
+    ClipperHT,       ///< static, least accurate variants ("clipper")
+    ClipperHA,       ///< static, most accurate variants
+    Sommelier,       ///< selection-only, placement frozen ("sommelier")
+    ProteusNoMS,     ///< ablation §6.5: without model selection
+    ProteusNoQA,     ///< ablation §6.5: without query assignment
+};
+
+/** Batching policies available to a ServingSystem. */
+enum class BatchingKind {
+    Proteus,         ///< proactive non-work-conserving ("accscale")
+    ClipperAimd,     ///< reactive AIMD ("aimd")
+    NexusEarlyDrop,  ///< proactive work-conserving ("nexus")
+    StaticOne,       ///< fixed batch of one (ablation w/o AB)
+};
+
+/** @return a printable name for @p kind. */
+const char* toString(AllocatorKind kind);
+
+/** @return a printable name for @p kind. */
+const char* toString(BatchingKind kind);
+
+/** Full experiment configuration. */
+struct SystemConfig {
+    AllocatorKind allocator = AllocatorKind::ProteusIlp;
+    BatchingKind batching = BatchingKind::Proteus;
+
+    /** SLO = multiplier x (fastest variant, CPU, batch 1); §6.1.2. */
+    double slo_multiplier = 2.0;
+    /** Device type anchoring the SLO (kInvalidId = slowest type). */
+    DeviceTypeId slo_anchor_type = kInvalidId;
+    /** Upper cap on batch sizes considered by the profiler. */
+    int max_batch_cap = 64;
+
+    /** Periodic re-allocation interval (paper: 30 s). */
+    Duration control_period = seconds(30.0);
+    /** Demand headroom applied to estimates when planning. */
+    double planning_headroom = 1.35;
+    /** Monitor burst alarm threshold over planned capacity. */
+    double burst_threshold = 1.2;
+    /** Demand-estimation window of the monitoring daemons. */
+    Duration monitor_window = seconds(2.0);
+    /** Metrics snapshot interval (timeseries granularity). */
+    Duration snapshot_interval = seconds(10.0);
+
+    /** Simulated MILP decision latency for Proteus (§6.8: ~4.2 s). */
+    Duration ilp_decision_delay = seconds(4.2);
+    /** Wall-clock budget per MILP solve inside the allocator. */
+    double milp_time_limit_sec = 2.0;
+
+    /** Multiplicative execution-latency jitter (0 = deterministic). */
+    double latency_jitter_frac = 0.0;
+    /** Seed for all stochastic pieces of the run. */
+    std::uint64_t seed = 1;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CORE_CONFIG_H_

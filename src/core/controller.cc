@@ -1,0 +1,95 @@
+#include "core/controller.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include <cstdio>
+#include <cstdlib>
+
+namespace proteus {
+
+Controller::Controller(Simulator* sim, Allocator* allocator,
+                       DemandFn demand, ApplyFn apply,
+                       ControllerOptions options)
+    : sim_(sim),
+      allocator_(allocator),
+      demand_fn_(std::move(demand)),
+      apply_fn_(std::move(apply)),
+      options_(options)
+{}
+
+void
+Controller::start(const std::vector<double>& initial_demand)
+{
+    AllocationInput input;
+    input.demand_qps = initial_demand;
+    input.current = has_plan_ ? &current_ : nullptr;
+    input.now = sim_->now();
+    current_ = allocator_->allocate(input);
+    has_plan_ = true;
+    ++reallocations_;
+    apply_fn_(current_);
+    last_start_ = sim_->now();
+
+    sim_->schedulePeriodic(options_.period, [this] {
+        reallocate(false);
+    });
+}
+
+void
+Controller::requestReallocation()
+{
+    // Debug tracing: PROTEUS_TRACE_ALARM=1 logs burst alarms.
+    static const bool trace_alarm = getenv("PROTEUS_TRACE_ALARM");
+    if (trace_alarm) {
+        fprintf(stderr, "[alarm] t=%.1f pending=%d since=%.1f\n",
+                toSeconds(sim_->now()), (int)decision_pending_,
+                last_start_ == kNoTime
+                    ? -1.0
+                    : toSeconds(sim_->now() - last_start_));
+    }
+    if (decision_pending_)
+        return;
+    if (last_start_ != kNoTime &&
+        sim_->now() - last_start_ < options_.min_interval) {
+        return;
+    }
+    reallocate(false);
+}
+
+void
+Controller::reallocate(bool initial)
+{
+    (void)initial;
+    if (decision_pending_)
+        return;
+    last_start_ = sim_->now();
+
+    AllocationInput input;
+    input.demand_qps = demand_fn_();
+    input.current = has_plan_ ? &current_ : nullptr;
+    input.now = sim_->now();
+
+    // The allocator computes the plan now (using the demand observed
+    // now), but the plan takes effect only after the decision delay —
+    // the MILP runs off the critical path (paper §4).
+    Allocation plan = allocator_->allocate(input);
+    Duration delay = allocator_->decisionDelay();
+    if (delay <= 0) {
+        current_ = std::move(plan);
+        has_plan_ = true;
+        ++reallocations_;
+        apply_fn_(current_);
+        return;
+    }
+    decision_pending_ = true;
+    sim_->scheduleAfter(delay, [this, p = std::move(plan)]() mutable {
+        decision_pending_ = false;
+        current_ = std::move(p);
+        has_plan_ = true;
+        ++reallocations_;
+        apply_fn_(current_);
+    });
+}
+
+}  // namespace proteus

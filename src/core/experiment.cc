@@ -1,0 +1,194 @@
+#include "core/experiment.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "workload/generators.h"
+
+namespace proteus {
+
+AllocatorKind
+allocatorKindFromName(const std::string& name)
+{
+    if (name == "ilp" || name == "proteus")
+        return AllocatorKind::ProteusIlp;
+    if (name == "infaas_v2" || name == "infaas")
+        return AllocatorKind::InfaasAccuracy;
+    if (name == "clipper_ht" || name == "clipper")
+        return AllocatorKind::ClipperHT;
+    if (name == "clipper_ha")
+        return AllocatorKind::ClipperHA;
+    if (name == "sommelier" || name == "ilp_no_mp")
+        return AllocatorKind::Sommelier;
+    if (name == "ilp_no_ms")
+        return AllocatorKind::ProteusNoMS;
+    if (name == "ilp_no_qa")
+        return AllocatorKind::ProteusNoQA;
+    PROTEUS_FATAL("unknown model_allocation algorithm: ", name);
+}
+
+BatchingKind
+batchingKindFromName(const std::string& name)
+{
+    if (name == "accscale" || name == "proteus")
+        return BatchingKind::Proteus;
+    if (name == "aimd" || name == "clipper")
+        return BatchingKind::ClipperAimd;
+    if (name == "nexus")
+        return BatchingKind::NexusEarlyDrop;
+    if (name == "static" || name == "none")
+        return BatchingKind::StaticOne;
+    PROTEUS_FATAL("unknown batching algorithm: ", name);
+}
+
+namespace {
+
+Cluster
+clusterFromJson(const JsonValue& json)
+{
+    Cluster cluster;
+    StandardTypes types = addStandardTypes(&cluster);
+    if (!json.has("cluster")) {
+        cluster.addDevices(types.cpu, 20);
+        cluster.addDevices(types.gtx1080ti, 10);
+        cluster.addDevices(types.v100, 10);
+        return cluster;
+    }
+    const JsonValue& c = json.at("cluster");
+    cluster.addDevices(types.cpu,
+                       static_cast<int>(c.numberOr("cpu", 0)));
+    cluster.addDevices(types.gtx1080ti,
+                       static_cast<int>(c.numberOr("gtx1080ti", 0)));
+    cluster.addDevices(types.v100,
+                       static_cast<int>(c.numberOr("v100", 0)));
+    if (cluster.numDevices() == 0)
+        PROTEUS_FATAL("config cluster has no devices");
+    return cluster;
+}
+
+ModelRegistry
+registryFromJson(const JsonValue& json)
+{
+    std::string zoo = json.stringOr("zoo", "paper");
+    ModelRegistry reg;
+    if (zoo == "paper") {
+        for (const auto& fam : paperModelZoo())
+            reg.registerFamily(fam);
+    } else if (zoo == "mini") {
+        for (const auto& fam : miniModelZoo())
+            reg.registerFamily(fam);
+    } else {
+        PROTEUS_FATAL("unknown zoo: ", zoo, " (use \"paper\"/\"mini\")");
+    }
+    return reg;
+}
+
+Trace
+traceFromJson(const JsonValue& json, std::size_t num_families)
+{
+    if (!json.has("workload"))
+        PROTEUS_FATAL("config is missing the \"workload\" object");
+    const JsonValue& w = json.at("workload");
+    std::string kind = w.stringOr("kind", "diurnal");
+    Duration duration = seconds(w.numberOr("duration_sec", 360.0));
+    std::uint64_t seed =
+        static_cast<std::uint64_t>(w.numberOr("seed", 42.0));
+
+    if (kind == "diurnal") {
+        DiurnalTraceConfig cfg;
+        cfg.duration = duration;
+        cfg.base_qps = w.numberOr("base_qps", 250.0);
+        cfg.diurnal_amplitude_qps = w.numberOr("amplitude_qps", 350.0);
+        cfg.cycles = w.numberOr("cycles", 2.0);
+        cfg.seed = seed;
+        return diurnalTrace(num_families, cfg);
+    }
+    if (kind == "burst") {
+        BurstTraceConfig cfg;
+        cfg.duration = duration;
+        cfg.low_qps = w.numberOr("low_qps", 150.0);
+        cfg.high_qps = w.numberOr("high_qps", 900.0);
+        cfg.phase = seconds(w.numberOr("phase_sec", 240.0));
+        cfg.seed = seed;
+        return burstTrace(num_families, cfg);
+    }
+    if (kind == "steady") {
+        std::string process = w.stringOr("process", "poisson");
+        ArrivalProcess p;
+        if (process == "uniform")
+            p = ArrivalProcess::Uniform;
+        else if (process == "poisson")
+            p = ArrivalProcess::Poisson;
+        else if (process == "gamma")
+            p = ArrivalProcess::Gamma;
+        else
+            PROTEUS_FATAL("unknown arrival process: ", process);
+        return steadyTrace(num_families, w.numberOr("qps", 100.0),
+                           duration, p, seed);
+    }
+    if (kind == "file") {
+        std::string path = w.stringOr("path", "");
+        if (path.empty())
+            PROTEUS_FATAL("workload kind \"file\" needs \"path\"");
+        std::ifstream in(path);
+        if (!in)
+            PROTEUS_FATAL("cannot open trace file: ", path);
+        return Trace::readCsv(in);
+    }
+    PROTEUS_FATAL("unknown workload kind: ", kind);
+}
+
+}  // namespace
+
+ExperimentSpec
+loadExperiment(const JsonValue& json)
+{
+    ExperimentSpec spec;
+    spec.config.allocator = allocatorKindFromName(
+        json.stringOr("model_allocation", "ilp"));
+    spec.config.batching =
+        batchingKindFromName(json.stringOr("batching", "accscale"));
+    spec.config.slo_multiplier =
+        json.numberOr("slo_multiplier", spec.config.slo_multiplier);
+    spec.config.control_period = seconds(json.numberOr(
+        "control_period_sec", toSeconds(spec.config.control_period)));
+    spec.config.planning_headroom = json.numberOr(
+        "planning_headroom", spec.config.planning_headroom);
+    spec.config.burst_threshold =
+        json.numberOr("burst_threshold", spec.config.burst_threshold);
+    spec.config.snapshot_interval = seconds(json.numberOr(
+        "snapshot_interval_sec",
+        toSeconds(spec.config.snapshot_interval)));
+    spec.config.ilp_decision_delay = seconds(json.numberOr(
+        "decision_delay_sec",
+        toSeconds(spec.config.ilp_decision_delay)));
+    spec.config.latency_jitter_frac = json.numberOr(
+        "latency_jitter", spec.config.latency_jitter_frac);
+    spec.config.seed =
+        static_cast<std::uint64_t>(json.numberOr("seed", 1.0));
+
+    spec.cluster = clusterFromJson(json);
+    spec.registry = registryFromJson(json);
+    spec.trace = traceFromJson(json, spec.registry.numFamilies());
+    return spec;
+}
+
+ExperimentSpec
+loadExperimentFile(const std::string& path)
+{
+    JsonValue json;
+    std::string error;
+    if (!parseJsonFile(path, &json, &error))
+        PROTEUS_FATAL("config parse error: ", error);
+    return loadExperiment(json);
+}
+
+RunResult
+runExperiment(ExperimentSpec* spec)
+{
+    ServingSystem system(&spec->cluster, &spec->registry,
+                         spec->config);
+    return system.run(spec->trace);
+}
+
+}  // namespace proteus

@@ -1,0 +1,17 @@
+#include "core/query.h"
+
+namespace proteus {
+
+const char*
+toString(QueryStatus status)
+{
+    switch (status) {
+      case QueryStatus::Pending: return "pending";
+      case QueryStatus::Served: return "served";
+      case QueryStatus::ServedLate: return "served-late";
+      case QueryStatus::Dropped: return "dropped";
+    }
+    return "unknown";
+}
+
+}  // namespace proteus

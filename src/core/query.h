@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Inference query representation and the observer interface the
+ * metrics layer implements.
+ */
+
+#ifndef PROTEUS_CORE_QUERY_H_
+#define PROTEUS_CORE_QUERY_H_
+
+#include "common/types.h"
+
+namespace proteus {
+
+/** Lifecycle state of a query. */
+enum class QueryStatus {
+    Pending,     ///< queued or executing
+    Served,      ///< completed within its latency SLO
+    ServedLate,  ///< completed, but after the SLO deadline
+    Dropped,     ///< shed by a router or dropped by a worker
+};
+
+/** @return a printable name for @p status. */
+const char* toString(QueryStatus status);
+
+/** One inference query travelling through the system. */
+struct Query {
+    QueryId id = 0;
+    FamilyId family = 0;
+    Time arrival = 0;
+    /** Absolute SLO deadline (arrival + family SLO). */
+    Time deadline = 0;
+
+    QueryStatus status = QueryStatus::Pending;
+    /** Completion time (kNoTime until finished). */
+    Time completion = kNoTime;
+    /** Normalized accuracy of the variant that served it (0 if not). */
+    double accuracy = 0.0;
+    /** Device that served (or dropped) it, kInvalidId if none. */
+    DeviceId served_by = kInvalidId;
+
+    /** @return true once the query reached a terminal state. */
+    bool
+    finished() const
+    {
+        return status != QueryStatus::Pending;
+    }
+
+    /** @return true when the query counts as an SLO violation. */
+    bool
+    violatedSlo() const
+    {
+        return status == QueryStatus::ServedLate ||
+               status == QueryStatus::Dropped;
+    }
+};
+
+/** Sink for query lifecycle events; implemented by the metrics layer. */
+class QueryObserver
+{
+  public:
+    virtual ~QueryObserver() = default;
+
+    /** A query entered the system. */
+    virtual void onArrival(const Query& query) = 0;
+
+    /** A query reached a terminal state (served, late or dropped). */
+    virtual void onFinished(const Query& query) = 0;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CORE_QUERY_H_

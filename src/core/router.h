@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-application load balancer (paper §3): a request router that
+ * dispatches queries to workers according to the query-assignment
+ * policy {y_dq}, plus a monitoring daemon that tracks demand and
+ * triggers the controller on bursts.
+ *
+ * Routing is deterministic smooth weighted round-robin so runs are
+ * reproducible and shares converge to the exact MILP weights. When
+ * the plan sheds load (routed fraction < 1), the router drops the
+ * corresponding fraction of queries at admission, again
+ * deterministically via a credit accumulator.
+ */
+
+#ifndef PROTEUS_CORE_ROUTER_H_
+#define PROTEUS_CORE_ROUTER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/query.h"
+#include "core/worker.h"
+#include "sim/simulator.h"
+
+namespace proteus {
+
+/** Load balancer for one registered application (query type). */
+class LoadBalancer
+{
+  public:
+    /** Invoked when the monitor detects demand beyond capacity. */
+    using BurstAlarmFn = std::function<void()>;
+
+    LoadBalancer(Simulator* sim, FamilyId family,
+                 QueryObserver* observer,
+                 Duration monitor_window = seconds(2.0));
+
+    LoadBalancer(const LoadBalancer&) = delete;
+    LoadBalancer& operator=(const LoadBalancer&) = delete;
+
+    /** Install the query-assignment policy for this family. */
+    void setRouting(std::vector<std::pair<Worker*, double>> shares);
+
+    /** Admit a query: route it to a worker or shed it. */
+    void submit(Query* query);
+
+    /**
+     * Route a query that is already in the system (e.g. bounced by a
+     * worker during a variant swap); does not count as a new arrival
+     * and is never shed.
+     */
+    void resubmit(Query* query);
+
+    /** @return demand estimate (QPS) over the monitor window. */
+    double windowQps() const;
+
+    /** Set the alarm target and threshold for burst detection. */
+    void setBurstAlarm(BurstAlarmFn alarm, double threshold);
+
+    /**
+     * Capacity the current plan provisions for this family (QPS);
+     * used by the monitor to detect overload.
+     */
+    void setPlannedCapacity(double qps) { planned_capacity_ = qps; }
+
+    /** @return queries dropped at admission (load shedding). */
+    std::uint64_t shed() const { return shed_; }
+
+    /** @return total queries admitted (routed to a worker). */
+    std::uint64_t routed() const { return routed_; }
+
+    /** @return the family this balancer serves. */
+    FamilyId family() const { return family_; }
+
+  private:
+    Worker* pickWorker();
+
+    Simulator* sim_;
+    FamilyId family_;
+    QueryObserver* observer_;
+
+    struct Target {
+        Worker* worker = nullptr;
+        double weight = 0.0;
+        double credit = 0.0;
+    };
+    std::vector<Target> targets_;
+    double total_weight_ = 0.0;
+    double shed_credit_ = 0.0;
+
+    WindowedRate rate_;
+    BurstAlarmFn alarm_;
+    double alarm_threshold_ = 1.5;
+    double planned_capacity_ = 0.0;
+    Time last_alarm_ = kNoTime;
+
+    std::uint64_t shed_ = 0;
+    std::uint64_t routed_ = 0;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CORE_ROUTER_H_

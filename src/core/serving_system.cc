@@ -1,0 +1,306 @@
+#include "core/serving_system.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "baselines/aimd_batching.h"
+#include "baselines/clipper.h"
+#include "baselines/infaas.h"
+#include "baselines/nexus_batching.h"
+#include "baselines/sommelier.h"
+#include "common/logging.h"
+#include "core/batching.h"
+#include <cstdio>
+#include <cstdlib>
+
+namespace proteus {
+
+const char*
+toString(AllocatorKind kind)
+{
+    switch (kind) {
+      case AllocatorKind::ProteusIlp: return "proteus";
+      case AllocatorKind::InfaasAccuracy: return "infaas-accuracy";
+      case AllocatorKind::ClipperHT: return "clipper-ht";
+      case AllocatorKind::ClipperHA: return "clipper-ha";
+      case AllocatorKind::Sommelier: return "sommelier";
+      case AllocatorKind::ProteusNoMS: return "proteus-w/o-ms";
+      case AllocatorKind::ProteusNoQA: return "proteus-w/o-qa";
+    }
+    return "unknown";
+}
+
+const char*
+toString(BatchingKind kind)
+{
+    switch (kind) {
+      case BatchingKind::Proteus: return "proteus-accscale";
+      case BatchingKind::ClipperAimd: return "clipper-aimd";
+      case BatchingKind::NexusEarlyDrop: return "nexus-early-drop";
+      case BatchingKind::StaticOne: return "static-1";
+    }
+    return "unknown";
+}
+
+ServingSystem::ServingSystem(const Cluster* cluster,
+                             const ModelRegistry* registry,
+                             SystemConfig config)
+    : cluster_(cluster),
+      registry_(registry),
+      config_(config),
+      cost_(*cluster, *registry),
+      profiles_(profileModels(
+          *registry, *cluster, cost_,
+          ProfilerOptions{config.slo_multiplier,
+                          config.slo_anchor_type,
+                          config.max_batch_cap})),
+      metrics_(&sim_, registry->numFamilies(),
+               config.snapshot_interval)
+{
+    allocator_ = makeAllocator();
+
+    // One worker per device. Requeued queries (variant swaps, stale
+    // routing) are re-submitted through the family's load balancer on
+    // the next simulator step to avoid same-instant routing loops.
+    for (const Device& dev : cluster_->devices()) {
+        auto requeue = [this](Query* q) {
+            sim_.scheduleAfter(millis(1.0), [this, q] {
+                if (q->finished())
+                    return;
+                if (sim_.now() > q->deadline) {
+                    q->status = QueryStatus::Dropped;
+                    q->completion = sim_.now();
+                    metrics_.onFinished(*q);
+                    return;
+                }
+                // Resubmit without re-counting the arrival.
+                balancers_[q->family]->resubmit(q);
+            });
+        };
+        auto worker = std::make_unique<Worker>(
+            &sim_, cluster_, dev.id, registry_, &cost_, &profiles_,
+            &metrics_, requeue, config_.latency_jitter_frac,
+            config_.seed);
+        worker->setBatchingPolicy(makeBatchingPolicy());
+        workers_.push_back(std::move(worker));
+    }
+
+    // One load balancer per registered application (query type).
+    for (FamilyId f = 0; f < registry_->numFamilies(); ++f) {
+        auto lb = std::make_unique<LoadBalancer>(
+            &sim_, f, &metrics_, config_.monitor_window);
+        balancers_.push_back(std::move(lb));
+    }
+
+    controller_ = std::make_unique<Controller>(
+        &sim_, allocator_.get(), [this] { return demandEstimate(); },
+        [this](const Allocation& plan) { applyPlan(plan); },
+        ControllerOptions{config_.control_period, seconds(5.0)});
+
+    for (auto& lb : balancers_) {
+        lb->setBurstAlarm([this] { controller_->requestReallocation(); },
+                          config_.burst_threshold);
+    }
+}
+
+ServingSystem::~ServingSystem() = default;
+
+std::unique_ptr<BatchingPolicy>
+ServingSystem::makeBatchingPolicy() const
+{
+    switch (config_.batching) {
+      case BatchingKind::Proteus:
+        return std::make_unique<ProteusBatching>();
+      case BatchingKind::ClipperAimd:
+        return std::make_unique<AimdBatching>();
+      case BatchingKind::NexusEarlyDrop:
+        return std::make_unique<NexusBatching>();
+      case BatchingKind::StaticOne:
+        return std::make_unique<StaticBatching>(1);
+    }
+    PROTEUS_PANIC("unhandled batching kind");
+}
+
+std::unique_ptr<Allocator>
+ServingSystem::makeAllocator()
+{
+    IlpAllocatorOptions ilp;
+    ilp.decision_delay = config_.ilp_decision_delay;
+    ilp.milp_time_limit_sec = config_.milp_time_limit_sec;
+    ilp.planning_headroom = config_.planning_headroom;
+    switch (config_.allocator) {
+      case AllocatorKind::ProteusIlp:
+        return std::make_unique<IlpAllocator>(registry_, cluster_,
+                                              &profiles_, ilp);
+      case AllocatorKind::ProteusNoMS:
+        ilp.fix_most_accurate = true;
+        return std::make_unique<IlpAllocator>(registry_, cluster_,
+                                              &profiles_, ilp);
+      case AllocatorKind::ProteusNoQA:
+        ilp.uniform_assignment = true;
+        return std::make_unique<IlpAllocator>(registry_, cluster_,
+                                              &profiles_, ilp);
+      case AllocatorKind::InfaasAccuracy: {
+        InfaasOptions iopt;
+        iopt.headroom = config_.planning_headroom;
+        return std::make_unique<InfaasAllocator>(registry_, cluster_,
+                                                 &profiles_, iopt);
+      }
+      case AllocatorKind::ClipperHT:
+        return std::make_unique<ClipperAllocator>(
+            registry_, cluster_, &profiles_,
+            ClipperMode::HighThroughput, ilp);
+      case AllocatorKind::ClipperHA:
+        return std::make_unique<ClipperAllocator>(
+            registry_, cluster_, &profiles_,
+            ClipperMode::HighAccuracy, ilp);
+      case AllocatorKind::Sommelier:
+        ilp.decision_delay = seconds(1.0);
+        return std::make_unique<SommelierAllocator>(
+            registry_, cluster_, &profiles_, ilp);
+    }
+    PROTEUS_PANIC("unhandled allocator kind");
+}
+
+std::vector<double>
+ServingSystem::demandEstimate() const
+{
+    std::vector<double> qps(registry_->numFamilies(), 0.0);
+    for (std::size_t f = 0; f < balancers_.size(); ++f)
+        qps[f] = balancers_[f]->windowQps();
+    return qps;
+}
+
+void
+ServingSystem::applyPlan(const Allocation& plan)
+{
+    // Debug tracing: PROTEUS_TRACE_PLAN=1 logs every applied plan.
+    static const bool trace_plan = getenv("PROTEUS_TRACE_PLAN");
+    if (trace_plan) {
+        double cap = 0.0;
+        for (double ccc : plan.family_capacity)
+            cap += ccc;
+        double est = 0.0;
+        for (double d : demandEstimate())
+            est += d;
+        int swaps = 0;
+        for (DeviceId d = 0; d < workers_.size(); ++d) {
+            if (workers_[d]->hostedVariant() != plan.hosting[d])
+                ++swaps;
+        }
+        fprintf(stderr,
+                "[plan] t=%.1f est_now=%.0f planned_cap=%.0f swaps=%d"
+                " exp_acc=%.2f\n",
+                toSeconds(sim_.now()), est, cap, swaps,
+                plan.expected_accuracy);
+    }
+    // Hosting changes first (loads start immediately) ...
+    for (DeviceId d = 0; d < workers_.size(); ++d)
+        workers_[d]->hostVariant(plan.hosting[d], first_apply_);
+
+    // ... then the query-assignment policy for every application.
+    for (FamilyId f = 0; f < balancers_.size(); ++f) {
+        std::vector<std::pair<Worker*, double>> shares;
+        for (const DeviceShare& s : plan.routing[f])
+            shares.emplace_back(workers_[s.device].get(), s.weight);
+        balancers_[f]->setRouting(std::move(shares));
+        // Burst alarms compare observed demand against the demand the
+        // plan was sized for, so the controller reacts before the
+        // provisioned headroom is exhausted.
+        double basis = f < plan.planned_demand.size()
+                           ? plan.planned_demand[f]
+                           : 0.0;
+        if (basis <= 0.0 && f < plan.family_capacity.size())
+            basis = plan.family_capacity[f];
+        balancers_[f]->setPlannedCapacity(basis);
+    }
+    first_apply_ = false;
+}
+
+const Allocation&
+ServingSystem::currentPlan() const
+{
+    return controller_->current();
+}
+
+RunResult
+ServingSystem::run(const Trace& trace,
+                   std::vector<double> planning_demand)
+{
+    PROTEUS_ASSERT(!ran_, "a ServingSystem runs exactly one trace");
+    ran_ = true;
+
+    if (planning_demand.empty()) {
+        Time window = std::min<Time>(seconds(60.0),
+                                     std::max<Time>(trace.endTime(), 1));
+        planning_demand =
+            trace.demand(registry_->numFamilies(), 0, window);
+    }
+    PROTEUS_ASSERT(planning_demand.size() == registry_->numFamilies(),
+                   "planning demand size mismatch");
+
+    metrics_.start();
+    controller_->start(planning_demand);
+
+    // Chained arrival injection: one pending event at a time.
+    const auto& events = trace.events();
+    std::size_t cursor = 0;
+    std::function<void()> inject = [&]() {
+        while (cursor < events.size() &&
+               events[cursor].at <= sim_.now()) {
+            const TraceEvent& e = events[cursor++];
+            arena_.push_back(Query{});
+            Query& q = arena_.back();
+            q.id = static_cast<QueryId>(arena_.size());
+            q.family = e.family;
+            q.arrival = sim_.now();
+            q.deadline = sim_.now() + profiles_.slo(e.family);
+            balancers_[e.family]->submit(&q);
+        }
+        if (cursor < events.size())
+            sim_.scheduleAt(events[cursor].at, inject);
+    };
+    if (!events.empty())
+        sim_.scheduleAt(events.front().at, inject);
+
+    // Run past the end of the trace so in-flight queries drain; the
+    // controller's periodic task keeps the event queue non-empty, so
+    // a horizon is required.
+    Duration max_slo = 0;
+    for (FamilyId f = 0; f < registry_->numFamilies(); ++f)
+        max_slo = std::max(max_slo, profiles_.slo(f));
+    sim_.run(trace.endTime() + 4 * max_slo + seconds(5.0));
+
+    // Account for anything still stuck in queues at the horizon.
+    for (Query& q : arena_) {
+        if (!q.finished()) {
+            q.status = QueryStatus::Dropped;
+            q.completion = sim_.now();
+            metrics_.onFinished(q);
+        }
+    }
+    metrics_.finalize();
+
+    RunResult result;
+    result.summary = metrics_.summary();
+    result.timeline = metrics_.timeline();
+    result.family_totals = metrics_.familyTotals();
+    result.reallocations = controller_->reallocations();
+    std::uint64_t batches = 0, batched = 0;
+    for (const auto& w : workers_) {
+        batches += w->batches();
+        batched +=
+            static_cast<std::uint64_t>(w->meanBatchSize() *
+                                       static_cast<double>(w->batches()) +
+                                       0.5);
+    }
+    result.mean_batch_size =
+        batches ? static_cast<double>(batched) /
+                      static_cast<double>(batches)
+                : 0.0;
+    for (const auto& lb : balancers_)
+        result.shed += lb->shed();
+    return result;
+}
+
+}  // namespace proteus

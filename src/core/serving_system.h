@@ -1,0 +1,119 @@
+/**
+ * @file
+ * ServingSystem: the public façade assembling the full Proteus stack
+ * (Fig. 2) on the discrete-event simulator — controller with resource
+ * manager, one load balancer per registered application, one worker
+ * per device with the configured adaptive-batching policy, and the
+ * metrics pipeline.
+ *
+ * Usage:
+ *   Cluster cluster = paperCluster();
+ *   ModelRegistry registry = paperRegistry();
+ *   SystemConfig config;                       // Proteus defaults
+ *   ServingSystem system(&cluster, &registry, config);
+ *   RunResult result = system.run(trace);
+ *
+ * A ServingSystem instance executes exactly one trace.
+ */
+
+#ifndef PROTEUS_CORE_SERVING_SYSTEM_H_
+#define PROTEUS_CORE_SERVING_SYSTEM_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cluster/device.h"
+#include "core/allocation.h"
+#include "core/config.h"
+#include "core/controller.h"
+#include "core/ilp_allocator.h"
+#include "core/router.h"
+#include "core/worker.h"
+#include "metrics/collector.h"
+#include "models/cost_model.h"
+#include "models/model.h"
+#include "models/profiler.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace proteus {
+
+/** Outcome of one trace-driven run. */
+struct RunResult {
+    RunSummary summary;
+    std::vector<IntervalSnapshot> timeline;
+    /** Cumulative per-family counters (Fig. 9 breakdown). */
+    std::vector<IntervalCounters> family_totals;
+    /** Number of plans applied by the controller. */
+    int reallocations = 0;
+    /** Mean executed batch size across all workers. */
+    double mean_batch_size = 0.0;
+    /** Queries shed at the routers (subset of dropped). */
+    std::uint64_t shed = 0;
+};
+
+/** Fully assembled inference-serving system on a simulated cluster. */
+class ServingSystem
+{
+  public:
+    /**
+     * @param cluster, registry borrowed; must outlive the system.
+     */
+    ServingSystem(const Cluster* cluster, const ModelRegistry* registry,
+                  SystemConfig config = {});
+
+    ServingSystem(const ServingSystem&) = delete;
+    ServingSystem& operator=(const ServingSystem&) = delete;
+    ~ServingSystem();
+
+    /**
+     * Execute @p trace to completion and report metrics.
+     *
+     * @param planning_demand per-family QPS used for the initial
+     *        provisioning (and, for Clipper, the permanent static
+     *        plan). Empty = derived from the trace's first minute.
+     */
+    RunResult run(const Trace& trace,
+                  std::vector<double> planning_demand = {});
+
+    /** @return the profile store (Fig. 1 style inspection). */
+    const ProfileStore& profiles() const { return profiles_; }
+
+    /** @return the SLO of family @p f. */
+    Duration slo(FamilyId f) const { return profiles_.slo(f); }
+
+    /** @return the configured allocator (for overhead stats). */
+    Allocator* allocator() { return allocator_.get(); }
+
+    /** @return the plan currently in force. */
+    const Allocation& currentPlan() const;
+
+  private:
+    void applyPlan(const Allocation& plan);
+    std::unique_ptr<BatchingPolicy> makeBatchingPolicy() const;
+    std::unique_ptr<Allocator> makeAllocator();
+    std::vector<double> demandEstimate() const;
+
+    const Cluster* cluster_;
+    const ModelRegistry* registry_;
+    SystemConfig config_;
+
+    Simulator sim_;
+    CostModel cost_;
+    ProfileStore profiles_;
+    MetricsCollector metrics_;
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::unique_ptr<LoadBalancer>> balancers_;
+    std::unique_ptr<Allocator> allocator_;
+    std::unique_ptr<Controller> controller_;
+
+    std::deque<Query> arena_;
+    bool first_apply_ = true;
+    bool ran_ = false;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CORE_SERVING_SYSTEM_H_

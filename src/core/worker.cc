@@ -1,0 +1,248 @@
+#include "core/worker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace proteus {
+
+Worker::Worker(Simulator* sim, const Cluster* cluster, DeviceId device,
+               const ModelRegistry* registry, const CostModel* cost,
+               const ProfileStore* profiles, QueryObserver* observer,
+               RequeueFn requeue, double jitter_frac,
+               std::uint64_t jitter_seed)
+    : sim_(sim),
+      cluster_(cluster),
+      device_(device),
+      type_(cluster->device(device).type),
+      registry_(registry),
+      cost_(cost),
+      profiles_(profiles),
+      observer_(observer),
+      requeue_(std::move(requeue)),
+      jitter_frac_(jitter_frac),
+      rng_(jitter_seed + device * 7919)
+{}
+
+void
+Worker::setBatchingPolicy(std::unique_ptr<BatchingPolicy> policy)
+{
+    policy_ = std::move(policy);
+}
+
+void
+Worker::hostVariant(std::optional<VariantId> variant, bool instant)
+{
+    if (variant == target_ && !loading_)
+        return;
+    if (variant == target_ && loading_)
+        return;  // already loading that variant
+
+    cancelTimer();
+    ++load_epoch_;
+
+    // Hand every queued query back for re-routing: the device will be
+    // unavailable for the whole model load, which can exceed short
+    // SLOs, while a ready replica may still serve them in time.
+    std::deque<Query*> pending = std::move(queue_);
+    queue_.clear();
+    for (Query* q : pending) {
+        if (requeue_) {
+            requeue_(q);
+        } else {
+            q->status = QueryStatus::Dropped;
+            q->completion = sim_->now();
+            q->served_by = device_;
+            ++dropped_;
+            if (observer_)
+                observer_->onFinished(*q);
+        }
+    }
+
+    target_ = variant;
+    if (!variant) {
+        loading_ = false;
+        return;
+    }
+    if (instant) {
+        loading_ = false;
+        evaluate();
+        return;
+    }
+    loading_ = true;
+    const Duration load = cost_->loadTime(type_, *variant);
+    const std::uint64_t epoch = load_epoch_;
+    sim_->scheduleAfter(load, [this, epoch] {
+        if (epoch != load_epoch_)
+            return;  // superseded by a newer hostVariant()
+        loading_ = false;
+        evaluate();
+    });
+}
+
+void
+Worker::enqueue(Query* query)
+{
+    PROTEUS_ASSERT(query != nullptr, "null query");
+    if (!target_) {
+        // Routed to an empty worker (stale routing during a swap):
+        // bounce it back for re-routing, or drop if impossible.
+        if (requeue_) {
+            requeue_(query);
+        } else {
+            query->status = QueryStatus::Dropped;
+            query->completion = sim_->now();
+            query->served_by = device_;
+            ++dropped_;
+            if (observer_)
+                observer_->onFinished(*query);
+        }
+        return;
+    }
+    queue_.push_back(query);
+    if (!busy_ && !loading_)
+        evaluate();
+}
+
+void
+Worker::cancelTimer()
+{
+    if (timer_ != kNoEvent) {
+        sim_->cancel(timer_);
+        timer_ = kNoEvent;
+        timer_at_ = kNoTime;
+    }
+}
+
+void
+Worker::dropFront(int count)
+{
+    for (int i = 0; i < count && !queue_.empty(); ++i) {
+        Query* q = queue_.front();
+        queue_.pop_front();
+        q->status = QueryStatus::Dropped;
+        q->completion = sim_->now();
+        q->served_by = device_;
+        ++dropped_;
+        if (observer_)
+            observer_->onFinished(*q);
+    }
+}
+
+void
+Worker::evaluate()
+{
+    if (busy_ || loading_ || !target_ || !policy_)
+        return;
+    if (queue_.empty()) {
+        cancelTimer();
+        return;
+    }
+    const BatchProfile& prof = profiles_->get(*target_, type_);
+    if (!prof.usable()) {
+        // Variant cannot meet the SLO on this device at any batch
+        // size: every assigned query is hopeless.
+        dropFront(static_cast<int>(queue_.size()));
+        return;
+    }
+    WorkerView view;
+    view.now = sim_->now();
+    view.queue = &queue_;
+    view.profile = &prof;
+    view.slo = profiles_->slo(registry_->familyOf(*target_));
+
+    BatchAction action = policy_->decide(view);
+    if (action.drop > 0)
+        dropFront(action.drop);
+    if (action.execute > 0) {
+        cancelTimer();
+        executeBatch(action.execute);
+        return;
+    }
+    if (action.wake_at != kNoTime && !queue_.empty()) {
+        if (timer_ != kNoEvent && timer_at_ == action.wake_at)
+            return;  // identical timer already armed
+        cancelTimer();
+        timer_at_ = std::max(action.wake_at, sim_->now());
+        timer_ = sim_->scheduleAt(timer_at_, [this] {
+            timer_ = kNoEvent;
+            timer_at_ = kNoTime;
+            evaluate();
+        });
+        return;
+    }
+    cancelTimer();
+}
+
+void
+Worker::executeBatch(int count)
+{
+    PROTEUS_ASSERT(count >= 1 &&
+                       count <= static_cast<int>(queue_.size()),
+                   "bad batch size ", count, " queue ", queue_.size());
+    const BatchProfile& prof = profiles_->get(*target_, type_);
+    PROTEUS_ASSERT(count <= static_cast<int>(prof.latency.size()),
+                   "batch beyond profiled range");
+
+    std::vector<Query*> batch;
+    batch.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        batch.push_back(queue_.front());
+        queue_.pop_front();
+    }
+
+    Duration lat = prof.latencyFor(count);
+    if (jitter_frac_ > 0.0) {
+        double f = 1.0 + rng_.uniform(-jitter_frac_, jitter_frac_);
+        lat = static_cast<Duration>(static_cast<double>(lat) * f);
+    }
+    busy_ = true;
+    busy_time_ += lat;
+    ++batches_;
+    batched_queries_ += static_cast<std::uint64_t>(count);
+    // Capture the executing variant: a swap may be requested while
+    // the batch runs, but these queries were served by this variant.
+    const VariantId executing = *target_;
+    sim_->scheduleAfter(lat,
+                        [this, executing, b = std::move(batch)]() mutable {
+        finishBatch(executing, std::move(b));
+    });
+}
+
+void
+Worker::finishBatch(VariantId executed_variant,
+                    std::vector<Query*> batch)
+{
+    busy_ = false;
+    const Time now = sim_->now();
+    const double accuracy = registry_->variant(executed_variant).accuracy;
+    bool any_violation = false;
+    for (Query* q : batch) {
+        q->completion = now;
+        q->accuracy = accuracy;
+        q->served_by = device_;
+        q->status = now <= q->deadline ? QueryStatus::Served
+                                       : QueryStatus::ServedLate;
+        any_violation |= q->status == QueryStatus::ServedLate;
+        ++served_;
+        if (observer_)
+            observer_->onFinished(*q);
+    }
+    if (policy_) {
+        policy_->onBatchOutcome(static_cast<int>(batch.size()),
+                                any_violation);
+    }
+    evaluate();
+}
+
+double
+Worker::meanBatchSize() const
+{
+    if (batches_ == 0)
+        return 0.0;
+    return static_cast<double>(batched_queries_) /
+           static_cast<double>(batches_);
+}
+
+}  // namespace proteus

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Worker: one device executing batched inference (paper §3, Workers).
+ *
+ * A worker hosts at most one model variant (Eq. 1 of the MILP), keeps
+ * a FIFO queue of assigned queries, and drives its adaptive-batching
+ * policy: the policy is consulted whenever the worker is idle and the
+ * queue may have changed, and may arm a wake-up timer (the
+ * non-work-conserving wait). Variant swaps incur a model-load delay
+ * during which the device cannot execute; queries of a different
+ * family that are still queued when the hosted variant changes are
+ * handed back for re-routing.
+ */
+
+#ifndef PROTEUS_CORE_WORKER_H_
+#define PROTEUS_CORE_WORKER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/device.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/batching.h"
+#include "core/query.h"
+#include "models/cost_model.h"
+#include "models/profiler.h"
+#include "sim/simulator.h"
+
+namespace proteus {
+
+/** One worker device executing batched inference queries. */
+class Worker
+{
+  public:
+    /** Called with queries that must be re-routed after a swap. */
+    using RequeueFn = std::function<void(Query*)>;
+
+    /**
+     * @param jitter_frac multiplicative uniform jitter on batch
+     *        execution latency (0 = deterministic), modelling runtime
+     *        variance the paper observed on real hardware (§6.2).
+     */
+    Worker(Simulator* sim, const Cluster* cluster, DeviceId device,
+           const ModelRegistry* registry, const CostModel* cost,
+           const ProfileStore* profiles, QueryObserver* observer,
+           RequeueFn requeue, double jitter_frac = 0.0,
+           std::uint64_t jitter_seed = 1);
+
+    Worker(const Worker&) = delete;
+    Worker& operator=(const Worker&) = delete;
+
+    /** Install the batching policy (worker-owned). */
+    void setBatchingPolicy(std::unique_ptr<BatchingPolicy> policy);
+
+    /**
+     * Begin hosting @p variant (std::nullopt unloads). Unless
+     * @p instant, the swap takes the model-load time during which the
+     * worker cannot execute; queued queries of a different family are
+     * re-routed immediately.
+     */
+    void hostVariant(std::optional<VariantId> variant,
+                     bool instant = false);
+
+    /** @return the hosting target (even while still loading). */
+    std::optional<VariantId> hostedVariant() const { return target_; }
+
+    /** @return true when the target variant is loaded and usable. */
+    bool ready() const { return target_.has_value() && !loading_; }
+
+    /** Assign a query to this worker. */
+    void enqueue(Query* query);
+
+    /** @return the device id. */
+    DeviceId deviceId() const { return device_; }
+
+    /** @return the device type. */
+    DeviceTypeId deviceType() const { return type_; }
+
+    /** @return current queue length. */
+    std::size_t queueLength() const { return queue_.size(); }
+
+    /** @return true while a batch is executing. */
+    bool busy() const { return busy_; }
+
+    /** @return total queries served (on time or late). */
+    std::uint64_t served() const { return served_; }
+
+    /** @return total queries dropped by this worker. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** @return total batches executed. */
+    std::uint64_t batches() const { return batches_; }
+
+    /** @return mean executed batch size (0 when none). */
+    double meanBatchSize() const;
+
+    /** @return busy time accumulated so far. */
+    Duration busyTime() const { return busy_time_; }
+
+  private:
+    void evaluate();
+    void executeBatch(int count);
+    void dropFront(int count);
+    void finishBatch(VariantId executed_variant,
+                     std::vector<Query*> batch);
+    void cancelTimer();
+
+    Simulator* sim_;
+    const Cluster* cluster_;
+    DeviceId device_;
+    DeviceTypeId type_;
+    const ModelRegistry* registry_;
+    const CostModel* cost_;
+    const ProfileStore* profiles_;
+    QueryObserver* observer_;
+    RequeueFn requeue_;
+    double jitter_frac_;
+    Rng rng_;
+
+    std::unique_ptr<BatchingPolicy> policy_;
+    std::optional<VariantId> target_;
+    bool loading_ = false;
+    std::uint64_t load_epoch_ = 0;
+
+    std::deque<Query*> queue_;
+    bool busy_ = false;
+    EventId timer_ = kNoEvent;
+    Time timer_at_ = kNoTime;
+
+    std::uint64_t served_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t batched_queries_ = 0;
+    Duration busy_time_ = 0;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CORE_WORKER_H_

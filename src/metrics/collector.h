@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Metrics collection: per-interval timeseries and run summaries using
+ * the paper's evaluation metrics (§6.1.4):
+ *
+ *  - Throughput: queries served per second.
+ *  - Effective accuracy: mean normalized accuracy of served queries.
+ *  - Maximum accuracy drop: 100 minus the minimum interval effective
+ *    accuracy over the run.
+ *  - SLO violation ratio: (late + dropped) / arrivals.
+ */
+
+#ifndef PROTEUS_METRICS_COLLECTOR_H_
+#define PROTEUS_METRICS_COLLECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/query.h"
+#include "sim/simulator.h"
+
+namespace proteus {
+
+/** Counters accumulated over one snapshot interval. */
+struct IntervalCounters {
+    std::uint64_t arrivals = 0;
+    std::uint64_t served = 0;       ///< completed within SLO
+    std::uint64_t served_late = 0;  ///< completed after the deadline
+    std::uint64_t dropped = 0;
+    double accuracy_sum = 0.0;      ///< over served + served_late
+
+    /** Total SLO violations in the interval. */
+    std::uint64_t
+    violations() const
+    {
+        return served_late + dropped;
+    }
+
+    /** Queries completed (on time or late). */
+    std::uint64_t
+    completed() const
+    {
+        return served + served_late;
+    }
+
+    /** Mean accuracy of completed queries (0 when none). */
+    double
+    effectiveAccuracy() const
+    {
+        return completed() ? accuracy_sum /
+                                 static_cast<double>(completed())
+                           : 0.0;
+    }
+};
+
+/** One entry of the run timeseries. */
+struct IntervalSnapshot {
+    Time start = 0;
+    Duration length = 0;
+    IntervalCounters total;
+    std::vector<IntervalCounters> per_family;
+
+    double
+    demandQps() const
+    {
+        return static_cast<double>(total.arrivals) / toSeconds(length);
+    }
+
+    double
+    throughputQps() const
+    {
+        return static_cast<double>(total.completed()) /
+               toSeconds(length);
+    }
+};
+
+/** Whole-run summary in the paper's §6.1.4 metrics. */
+struct RunSummary {
+    std::uint64_t arrivals = 0;
+    std::uint64_t served = 0;
+    std::uint64_t served_late = 0;
+    std::uint64_t dropped = 0;
+
+    double avg_throughput_qps = 0.0;
+    double avg_demand_qps = 0.0;
+    double effective_accuracy = 0.0;   ///< over all completed queries
+    double max_accuracy_drop = 0.0;    ///< 100 - min interval accuracy
+    double slo_violation_ratio = 0.0;  ///< (late+dropped)/arrivals
+
+    std::uint64_t
+    violations() const
+    {
+        return served_late + dropped;
+    }
+};
+
+/** Query-lifecycle observer building the timeseries and summary. */
+class MetricsCollector : public QueryObserver
+{
+  public:
+    MetricsCollector(Simulator* sim, std::size_t num_families,
+                     Duration interval = seconds(10.0));
+
+    /** Start the periodic snapshot task. */
+    void start();
+
+    void onArrival(const Query& query) override;
+    void onFinished(const Query& query) override;
+
+    /** Commit the trailing partial interval; call once after run(). */
+    void finalize();
+
+    /** @return the committed interval timeseries. */
+    const std::vector<IntervalSnapshot>& timeline() const
+    {
+        return timeline_;
+    }
+
+    /** @return the run summary (valid after finalize()). */
+    RunSummary summary() const;
+
+    /** @return cumulative per-family counters. */
+    const std::vector<IntervalCounters>& familyTotals() const
+    {
+        return family_totals_;
+    }
+
+  private:
+    void commitInterval();
+
+    Simulator* sim_;
+    std::size_t num_families_;
+    Duration interval_;
+
+    Time interval_start_ = 0;
+    IntervalCounters current_;
+    std::vector<IntervalCounters> current_family_;
+
+    std::vector<IntervalSnapshot> timeline_;
+    IntervalCounters totals_;
+    std::vector<IntervalCounters> family_totals_;
+    bool finalized_ = false;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_METRICS_COLLECTOR_H_

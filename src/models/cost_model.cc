@@ -1,0 +1,64 @@
+#include "models/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace proteus {
+
+double
+CostModel::latencyMs(DeviceTypeId type, VariantId v, int batch) const
+{
+    PROTEUS_ASSERT(batch >= 1, "batch must be >= 1, got ", batch);
+    const DeviceTypeInfo& dev = cluster_->typeInfo(type);
+    const VariantSpec& var = registry_->variant(v);
+    double item_ms = var.gflops / dev.gflops_per_ms;
+    return dev.overhead_ms +
+           item_ms * (1.0 + (batch - 1) * dev.batch_efficiency);
+}
+
+Duration
+CostModel::latency(DeviceTypeId type, VariantId v, int batch) const
+{
+    return millis(latencyMs(type, v, batch));
+}
+
+double
+CostModel::weightsMb(VariantId v) const
+{
+    // fp32 weights: 4 bytes per parameter.
+    return registry_->variant(v).params_m * 4.0;
+}
+
+double
+CostModel::activationMb(VariantId v) const
+{
+    // Empirical: activation working set grows with compute size.
+    return 50.0 + 10.0 * registry_->variant(v).gflops;
+}
+
+Duration
+CostModel::loadTime(DeviceTypeId type, VariantId v) const
+{
+    // Weights stream from page cache over PCIe (~10 GB/s) plus a
+    // fixed session warm-up. Containers are pre-pulled, as in the
+    // paper's testbed (its simulator treats container startup as a
+    // background effect outside the model, §6.2).
+    (void)type;
+    double mb = weightsMb(v);
+    return millis(100.0 + 0.1 * mb);
+}
+
+int
+CostModel::maxMemoryBatch(DeviceTypeId type, VariantId v) const
+{
+    const DeviceTypeInfo& dev = cluster_->typeInfo(type);
+    double free_mb = dev.memory_mb - weightsMb(v);
+    if (free_mb <= 0.0)
+        return 0;
+    double per_item = activationMb(v);
+    return static_cast<int>(free_mb / per_item);
+}
+
+}  // namespace proteus

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytic latency / memory cost model for model variants on devices.
+ *
+ * Substitutes for profiling real ONNX models on real hardware (see
+ * DESIGN.md). Batch latency is affine in the batch size with a
+ * device-specific amortization factor:
+ *
+ *   latency_ms(d, m, b) = overhead(d)
+ *                       + (gflops(m) / thru(d)) * (1 + (b-1) * eff(d))
+ *
+ * Memory: weights occupy 4 bytes/parameter; activations add a
+ * per-item footprint that grows with model size. A variant whose
+ * weights exceed device memory cannot be hosted at all (paper §6.7:
+ * the heaviest models fit only the largest-memory accelerators).
+ */
+
+#ifndef PROTEUS_MODELS_COST_MODEL_H_
+#define PROTEUS_MODELS_COST_MODEL_H_
+
+#include "cluster/device.h"
+#include "common/types.h"
+#include "models/model.h"
+
+namespace proteus {
+
+/** Deterministic analytic cost model. */
+class CostModel
+{
+  public:
+    /**
+     * @param cluster source of device-type parameters (must outlive
+     *        the cost model).
+     * @param registry source of variant specs (must outlive it too).
+     */
+    CostModel(const Cluster& cluster, const ModelRegistry& registry)
+        : cluster_(&cluster), registry_(&registry)
+    {}
+
+    /** Batch-processing latency in milliseconds. */
+    double latencyMs(DeviceTypeId type, VariantId v, int batch) const;
+
+    /** Batch-processing latency as a simulation Duration. */
+    Duration latency(DeviceTypeId type, VariantId v, int batch) const;
+
+    /** Weight footprint of a variant in MB. */
+    double weightsMb(VariantId v) const;
+
+    /** Per-batched-item activation footprint in MB. */
+    double activationMb(VariantId v) const;
+
+    /** Model-load (variant swap) time on a device type. */
+    Duration loadTime(DeviceTypeId type, VariantId v) const;
+
+    /**
+     * Largest batch that fits in device memory next to the weights;
+     * 0 when the weights alone do not fit.
+     */
+    int maxMemoryBatch(DeviceTypeId type, VariantId v) const;
+
+  private:
+    const Cluster* cluster_;
+    const ModelRegistry* registry_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_MODELS_COST_MODEL_H_

@@ -1,0 +1,191 @@
+#include "models/model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace proteus {
+
+FamilyId
+ModelRegistry::registerFamily(const FamilySpec& spec)
+{
+    PROTEUS_ASSERT(!spec.variants.empty(), "family ", spec.name,
+                   " has no variants");
+    FamilyId f = static_cast<FamilyId>(families_.size());
+    families_.push_back(spec);
+    std::vector<VariantId> ids;
+    for (const auto& v : spec.variants) {
+        PROTEUS_ASSERT(v.accuracy > 0.0 && v.accuracy <= 100.0 + 1e-9,
+                       "variant ", v.name,
+                       " accuracy must be normalized to (0, 100]");
+        PROTEUS_ASSERT(v.gflops > 0.0 && v.params_m > 0.0,
+                       "variant ", v.name, " needs positive cost");
+        VariantId id = static_cast<VariantId>(variants_.size());
+        variants_.push_back(v);
+        family_of_.push_back(f);
+        ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end(), [this](VariantId a, VariantId b) {
+        return variants_[a].accuracy < variants_[b].accuracy;
+    });
+    variants_of_.push_back(std::move(ids));
+    return f;
+}
+
+const FamilySpec&
+ModelRegistry::family(FamilyId f) const
+{
+    PROTEUS_ASSERT(f < families_.size(), "unknown family ", f);
+    return families_[f];
+}
+
+const VariantSpec&
+ModelRegistry::variant(VariantId v) const
+{
+    PROTEUS_ASSERT(v < variants_.size(), "unknown variant ", v);
+    return variants_[v];
+}
+
+FamilyId
+ModelRegistry::familyOf(VariantId v) const
+{
+    PROTEUS_ASSERT(v < family_of_.size(), "unknown variant ", v);
+    return family_of_[v];
+}
+
+const std::vector<VariantId>&
+ModelRegistry::variantsOf(FamilyId f) const
+{
+    PROTEUS_ASSERT(f < variants_of_.size(), "unknown family ", f);
+    return variants_of_[f];
+}
+
+VariantId
+ModelRegistry::leastAccurate(FamilyId f) const
+{
+    return variantsOf(f).front();
+}
+
+VariantId
+ModelRegistry::mostAccurate(FamilyId f) const
+{
+    return variantsOf(f).back();
+}
+
+FamilyId
+ModelRegistry::findFamily(const std::string& name) const
+{
+    for (std::size_t f = 0; f < families_.size(); ++f) {
+        if (families_[f].name == name)
+            return static_cast<FamilyId>(f);
+    }
+    PROTEUS_PANIC("unknown family name ", name);
+}
+
+std::vector<FamilySpec>
+paperModelZoo()
+{
+    // Table 3. FLOPs / parameter counts follow the public model cards;
+    // accuracies are normalized to the best variant of each family
+    // (paper §6.1.2: "This normalized accuracy varies from 80% to 100%").
+    std::vector<FamilySpec> zoo;
+
+    zoo.push_back({"resnet", "classification", {
+        {"resnet-18", 1.8, 11.7, 89.1},
+        {"resnet-34", 3.6, 21.8, 92.3},
+        {"resnet-50", 4.1, 25.6, 95.3},
+        {"resnet-101", 7.8, 44.5, 98.1},
+        {"resnet-152", 11.6, 60.2, 100.0},
+    }});
+
+    zoo.push_back({"densenet", "classification", {
+        {"densenet-121", 2.9, 8.0, 93.8},
+        {"densenet-169", 3.4, 14.2, 95.9},
+        {"densenet-201", 4.3, 20.0, 97.9},
+        {"densenet-161", 7.8, 28.7, 100.0},
+    }});
+
+    zoo.push_back({"resnest", "classification", {
+        {"resnest-14", 2.7, 10.6, 87.4},
+        {"resnest-26", 3.6, 17.0, 91.9},
+        {"resnest-50", 5.4, 27.5, 96.0},
+        {"resnest-269", 77.0, 111.0, 100.0},
+    }});
+
+    zoo.push_back({"efficientnet", "classification", {
+        {"efficientnet-b0", 0.39, 5.3, 91.5},
+        {"efficientnet-b1", 0.70, 7.8, 93.8},
+        {"efficientnet-b2", 1.0, 9.2, 95.0},
+        {"efficientnet-b3", 1.8, 12.0, 96.8},
+        {"efficientnet-b4", 4.2, 19.0, 98.3},
+        {"efficientnet-b5", 9.9, 30.0, 99.2},
+        {"efficientnet-b6", 19.0, 43.0, 99.6},
+        {"efficientnet-b7", 37.0, 66.0, 100.0},
+    }});
+
+    zoo.push_back({"mobilenet", "classification", {
+        {"mobilenet-0.25", 0.041, 0.5, 81.0},
+        {"mobilenet-0.5", 0.149, 1.3, 90.2},
+        {"mobilenet-0.75", 0.317, 2.6, 96.9},
+        {"mobilenet-1.0", 0.569, 4.2, 100.0},
+    }});
+
+    zoo.push_back({"yolov5", "object-detection", {
+        {"yolov5-n", 4.5, 1.9, 80.0},
+        {"yolov5-s", 16.5, 7.2, 85.0},
+        {"yolov5-m", 49.0, 21.2, 92.0},
+        {"yolov5-l", 109.0, 46.5, 97.0},
+        {"yolov5-x", 205.0, 86.7, 100.0},
+    }});
+
+    zoo.push_back({"bert", "sentiment-analysis", {
+        {"bert-tiny", 1.2, 4.4, 80.0},
+        {"bert-mini", 2.6, 11.3, 84.0},
+        {"bert-small", 5.5, 29.1, 88.0},
+        {"bert-medium", 11.0, 41.7, 91.0},
+        {"albert-base", 22.0, 12.0, 92.5},
+        {"bert-base", 22.0, 110.0, 93.0},
+        {"albert-large", 78.0, 18.0, 95.0},
+        {"roberta-base", 22.0, 125.0, 95.5},
+        {"bert-large", 78.0, 340.0, 96.0},
+        {"albert-xlarge", 140.0, 60.0, 97.5},
+        {"albert-xxlarge", 300.0, 235.0, 99.0},
+        {"roberta-large", 78.0, 355.0, 100.0},
+    }});
+
+    zoo.push_back({"t5", "translation", {
+        {"t5-small", 7.0, 60.0, 81.5},
+        {"t5-base", 25.0, 220.0, 86.0},
+        {"t5-large", 80.0, 770.0, 91.0},
+        {"t5-3b", 350.0, 3000.0, 96.0},
+        {"t5-11b", 1300.0, 11000.0, 100.0},
+    }});
+
+    zoo.push_back({"gpt2", "question-answering", {
+        {"gpt2-base", 30.0, 124.0, 85.0},
+        {"gpt2-medium", 90.0, 355.0, 91.0},
+        {"gpt2-large", 180.0, 774.0, 96.0},
+        {"gpt2-xl", 380.0, 1500.0, 100.0},
+    }});
+
+    return zoo;
+}
+
+std::vector<FamilySpec>
+miniModelZoo()
+{
+    auto zoo = paperModelZoo();
+    // resnet, efficientnet, mobilenet: indexes 0, 3, 4.
+    return {zoo[0], zoo[3], zoo[4]};
+}
+
+ModelRegistry
+paperRegistry()
+{
+    ModelRegistry reg;
+    for (const auto& fam : paperModelZoo())
+        reg.registerFamily(fam);
+    return reg;
+}
+
+}  // namespace proteus

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Model families, variants and the model registry.
+ *
+ * One model family corresponds to one query type / registered
+ * application (paper §6.1.2): e.g. the "resnet" family serves
+ * classification queries with variants ResNet-18 … ResNet-152.
+ * Accuracy is normalized within each family so the most accurate
+ * variant scores 100 (paper §6.1.2; normalized accuracies span roughly
+ * 80–100).
+ */
+
+#ifndef PROTEUS_MODELS_MODEL_H_
+#define PROTEUS_MODELS_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proteus {
+
+/** Static description of one model variant. */
+struct VariantSpec {
+    std::string name;
+    /** Compute cost of one inference in GFLOPs. */
+    double gflops = 1.0;
+    /** Parameter count in millions (drives the memory footprint). */
+    double params_m = 1.0;
+    /** Accuracy normalized to the best variant of the family (<=100). */
+    double accuracy = 100.0;
+};
+
+/** Static description of one model family (= one query type). */
+struct FamilySpec {
+    std::string name;
+    std::string task;
+    std::vector<VariantSpec> variants;
+};
+
+/**
+ * Registry of all families and variants with stable integer ids.
+ * Mirrors the paper's controller-side Model Registry module (§3).
+ */
+class ModelRegistry
+{
+  public:
+    /** Register a family and its variants. @return the family id. */
+    FamilyId registerFamily(const FamilySpec& spec);
+
+    /** @return the number of registered families (query types). */
+    std::size_t numFamilies() const { return families_.size(); }
+
+    /** @return the total number of registered variants. */
+    std::size_t numVariants() const { return variants_.size(); }
+
+    /** @return the family spec for @p f. */
+    const FamilySpec& family(FamilyId f) const;
+
+    /** @return the variant spec for global variant id @p v. */
+    const VariantSpec& variant(VariantId v) const;
+
+    /** @return the family a variant belongs to. */
+    FamilyId familyOf(VariantId v) const;
+
+    /** @return global variant ids of family @p f, accuracy-ascending. */
+    const std::vector<VariantId>& variantsOf(FamilyId f) const;
+
+    /** @return the variant of @p f with the lowest accuracy. */
+    VariantId leastAccurate(FamilyId f) const;
+
+    /** @return the variant of @p f with the highest accuracy. */
+    VariantId mostAccurate(FamilyId f) const;
+
+    /** @return id of the family named @p name; panics if unknown. */
+    FamilyId findFamily(const std::string& name) const;
+
+  private:
+    std::vector<FamilySpec> families_;
+    std::vector<VariantSpec> variants_;
+    std::vector<FamilyId> family_of_;
+    std::vector<std::vector<VariantId>> variants_of_;
+};
+
+/**
+ * The paper's Table 3 model zoo: 9 families, 46 variants, with
+ * FLOPs/parameters from the public model cards and accuracies
+ * normalized within each family.
+ */
+std::vector<FamilySpec> paperModelZoo();
+
+/** A reduced zoo (3 CV families) for fast tests and examples. */
+std::vector<FamilySpec> miniModelZoo();
+
+/** Build a registry preloaded with paperModelZoo(). */
+ModelRegistry paperRegistry();
+
+}  // namespace proteus
+
+#endif  // PROTEUS_MODELS_MODEL_H_

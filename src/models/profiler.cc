@@ -1,0 +1,85 @@
+#include "models/profiler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace proteus {
+
+namespace {
+
+/**
+ * Anchor latency for a family's SLO: the batch-1 latency of its
+ * fastest variant on the anchor device type (or the slowest type when
+ * unspecified, which is CPU-like by construction).
+ */
+Duration
+sloAnchorLatency(const ModelRegistry& registry, const Cluster& cluster,
+                 const CostModel& cost, FamilyId f,
+                 DeviceTypeId anchor)
+{
+    Duration best = std::numeric_limits<Duration>::max();
+    for (VariantId v : registry.variantsOf(f)) {
+        if (anchor != kInvalidId) {
+            best = std::min(best, cost.latency(anchor, v, 1));
+            continue;
+        }
+        // No anchor type given: use the slowest device type for this
+        // variant, which matches "fastest variant that can run on a
+        // CPU" in spirit for CPU-less clusters.
+        Duration worst_type = 0;
+        for (DeviceTypeId t = 0; t < cluster.numTypes(); ++t)
+            worst_type = std::max(worst_type, cost.latency(t, v, 1));
+        best = std::min(best, worst_type);
+    }
+    return best;
+}
+
+}  // namespace
+
+ProfileStore
+profileModels(const ModelRegistry& registry, const Cluster& cluster,
+              const CostModel& cost, const ProfilerOptions& options)
+{
+    PROTEUS_ASSERT(options.slo_multiplier > 0.0, "bad SLO multiplier");
+    PROTEUS_ASSERT(options.max_batch_cap >= 1, "bad batch cap");
+
+    ProfileStore store(registry.numVariants(), cluster.numTypes());
+
+    std::vector<Duration> slos(registry.numFamilies());
+    for (FamilyId f = 0; f < registry.numFamilies(); ++f) {
+        Duration anchor = sloAnchorLatency(registry, cluster, cost, f,
+                                           options.slo_anchor_type);
+        slos[f] = static_cast<Duration>(
+            static_cast<double>(anchor) * options.slo_multiplier);
+    }
+    store.setSlos(std::move(slos));
+
+    for (VariantId v = 0; v < registry.numVariants(); ++v) {
+        FamilyId f = registry.familyOf(v);
+        const Duration budget = store.slo(f) / 2;  // Nexus half-SLO rule
+        for (DeviceTypeId t = 0; t < cluster.numTypes(); ++t) {
+            BatchProfile& prof = store.mutableGet(v, t);
+            int mem_cap = cost.maxMemoryBatch(t, v);
+            int cap = std::min(options.max_batch_cap, mem_cap);
+            prof.latency.reserve(static_cast<std::size_t>(
+                std::max(cap, 1)));
+            int max_ok = 0;
+            for (int b = 1; b <= std::max(cap, 1); ++b) {
+                Duration lat = cost.latency(t, v, b);
+                prof.latency.push_back(lat);
+                if (b <= cap && lat <= budget)
+                    max_ok = b;
+            }
+            prof.max_batch = max_ok;
+            if (max_ok >= 1) {
+                prof.peak_qps = static_cast<double>(max_ok) /
+                                toSeconds(prof.latencyFor(max_ok));
+            }
+        }
+    }
+    return store;
+}
+
+}  // namespace proteus

@@ -1,0 +1,108 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace proteus {
+
+EventId
+Simulator::push(Time at, Callback cb)
+{
+    EventId id = next_id_++;
+    queue_.push(Entry{at, seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+}
+
+EventId
+Simulator::scheduleAt(Time at, Callback cb)
+{
+    PROTEUS_ASSERT(at >= now_, "scheduling into the past: at=", at,
+                   " now=", now_);
+    return push(at, std::move(cb));
+}
+
+EventId
+Simulator::scheduleAfter(Duration delay, Callback cb)
+{
+    PROTEUS_ASSERT(delay >= 0, "negative delay ", delay);
+    return push(now_ + delay, std::move(cb));
+}
+
+EventId
+Simulator::schedulePeriodic(Duration period, Callback cb)
+{
+    PROTEUS_ASSERT(period > 0, "periodic task needs positive period");
+    // The periodic handle is a fresh id never used by a one-shot event;
+    // cancellation is checked each time the task re-arms itself.
+    EventId handle = next_id_++;
+    auto shared = std::make_shared<Callback>(std::move(cb));
+    // A shared_ptr to the closure itself lets each firing re-arm the
+    // next one.
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [this, handle, period, shared, loop]() {
+        if (cancelled_periodics_.count(handle))
+            return;
+        (*shared)();
+        if (!cancelled_periodics_.count(handle))
+            scheduleAfter(period, *loop);
+    };
+    scheduleAfter(period, *loop);
+    return handle;
+}
+
+bool
+Simulator::cancel(EventId id)
+{
+    return callbacks_.erase(id) > 0;
+}
+
+void
+Simulator::cancelPeriodic(EventId id)
+{
+    cancelled_periodics_.insert(id);
+}
+
+bool
+Simulator::step()
+{
+    while (!queue_.empty()) {
+        Entry e = queue_.top();
+        queue_.pop();
+        auto it = callbacks_.find(e.id);
+        if (it == callbacks_.end())
+            continue;  // cancelled
+        Callback cb = std::move(it->second);
+        callbacks_.erase(it);
+        PROTEUS_ASSERT(e.at >= now_, "event queue went backwards");
+        now_ = e.at;
+        ++executed_;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+void
+Simulator::run(Time until)
+{
+    while (!queue_.empty()) {
+        if (queue_.top().at > until) {
+            now_ = until;
+            return;
+        }
+        step();
+    }
+    if (until != kTimeMax && until > now_)
+        now_ = until;
+}
+
+std::size_t
+Simulator::pendingEvents() const
+{
+    return callbacks_.size();
+}
+
+}  // namespace proteus

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The simulator owns a priority queue of timestamped callbacks and a
+ * virtual clock. Events scheduled at equal times fire in scheduling
+ * order (FIFO), which makes runs fully deterministic. Events can be
+ * cancelled via the handle returned by schedule(); cancellation is lazy
+ * (the entry is skipped when popped).
+ *
+ * This is the substrate the paper's trace-driven evaluation runs on
+ * (§6.1.5): arrival of queries, batch completions, controller periods
+ * and monitoring reports are all simulator events.
+ */
+
+#ifndef PROTEUS_SIM_SIMULATOR_H_
+#define PROTEUS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proteus {
+
+/** Handle identifying a scheduled event; usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel handle for "no event". */
+inline constexpr EventId kNoEvent = 0;
+
+/**
+ * Deterministic discrete-event simulator with a virtual microsecond
+ * clock.
+ */
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /** @return the current virtual time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p at (>= now).
+     * @return a handle that can be passed to cancel().
+     */
+    EventId scheduleAt(Time at, Callback cb);
+
+    /** Schedule @p cb to run @p delay from now. */
+    EventId scheduleAfter(Duration delay, Callback cb);
+
+    /**
+     * Schedule @p cb every @p period, with the first invocation after
+     * one full period. The callback keeps repeating until the run
+     * ends or cancelPeriodic() is called with the returned handle.
+     */
+    EventId schedulePeriodic(Duration period, Callback cb);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * handle is a harmless no-op.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Stop a periodic task created with schedulePeriodic(). */
+    void cancelPeriodic(EventId id);
+
+    /** Run until the event queue is empty or until() time is reached. */
+    void run(Time until = kTimeMax);
+
+    /** Execute at most one event. @return false if the queue is empty. */
+    bool step();
+
+    /** @return the number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    /** @return the number of events currently pending. */
+    std::size_t pendingEvents() const;
+
+  private:
+    struct Entry {
+        Time at;
+        std::uint64_t seq;
+        EventId id;
+    };
+    struct EntryLater {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.at != b.at)
+                return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    EventId push(Time at, Callback cb);
+
+    Time now_ = 0;
+    std::uint64_t seq_ = 0;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+    std::unordered_map<EventId, Callback> callbacks_;
+    std::unordered_set<EventId> cancelled_periodics_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_SIM_SIMULATOR_H_

@@ -1,0 +1,96 @@
+#include "solver/lp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace proteus {
+
+int
+LinearProgram::addVariable(double lo, double hi, double obj,
+                           std::string name)
+{
+    PROTEUS_ASSERT(std::isfinite(lo), "variables need a finite lower bound");
+    PROTEUS_ASSERT(lo <= hi, "variable bounds crossed: ", name);
+    vars_.push_back(Variable{lo, hi, obj, false, std::move(name)});
+    return static_cast<int>(vars_.size()) - 1;
+}
+
+int
+LinearProgram::addIntVariable(double lo, double hi, double obj,
+                              std::string name)
+{
+    int j = addVariable(lo, hi, obj, std::move(name));
+    vars_[j].is_integer = true;
+    int_vars_.push_back(j);
+    return j;
+}
+
+int
+LinearProgram::addConstraint(std::vector<Coeff> coeffs, RowSense sense,
+                             double rhs, std::string name)
+{
+    for (const auto& [col, coef] : coeffs) {
+        PROTEUS_ASSERT(col >= 0 && col < numVariables(),
+                       "row references unknown column ", col);
+        PROTEUS_ASSERT(std::isfinite(coef), "non-finite coefficient");
+    }
+    rows_.push_back(Row{std::move(coeffs), sense, rhs, std::move(name)});
+    return static_cast<int>(rows_.size()) - 1;
+}
+
+double
+LinearProgram::objectiveValue(const std::vector<double>& x) const
+{
+    double v = 0.0;
+    for (int j = 0; j < numVariables(); ++j)
+        v += vars_[j].obj * x[j];
+    return v;
+}
+
+bool
+LinearProgram::isFeasible(const std::vector<double>& x, double tol) const
+{
+    if (static_cast<int>(x.size()) != numVariables())
+        return false;
+    for (int j = 0; j < numVariables(); ++j) {
+        if (x[j] < vars_[j].lo - tol || x[j] > vars_[j].hi + tol)
+            return false;
+    }
+    for (const auto& row : rows_) {
+        double lhs = 0.0;
+        for (const auto& [col, coef] : row.coeffs)
+            lhs += coef * x[col];
+        switch (row.sense) {
+          case RowSense::LessEqual:
+            if (lhs > row.rhs + tol)
+                return false;
+            break;
+          case RowSense::Equal:
+            if (std::abs(lhs - row.rhs) > tol)
+                return false;
+            break;
+          case RowSense::GreaterEqual:
+            if (lhs < row.rhs - tol)
+                return false;
+            break;
+        }
+    }
+    return true;
+}
+
+const char*
+toString(SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::Optimal: return "Optimal";
+      case SolveStatus::Feasible: return "Feasible";
+      case SolveStatus::Infeasible: return "Infeasible";
+      case SolveStatus::Unbounded: return "Unbounded";
+      case SolveStatus::IterLimit: return "IterLimit";
+      case SolveStatus::TimeLimit: return "TimeLimit";
+    }
+    return "Unknown";
+}
+
+}  // namespace proteus

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Linear / mixed-integer program model description.
+ *
+ * This is the in-memory problem representation consumed by the simplex
+ * and branch-and-bound solvers in this directory. It plays the role
+ * Gurobi's model object plays in the paper's implementation (§6.1.5);
+ * see DESIGN.md for the substitution rationale.
+ */
+
+#ifndef PROTEUS_SOLVER_LP_H_
+#define PROTEUS_SOLVER_LP_H_
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace proteus {
+
+/** Positive infinity used for unbounded variable/constraint limits. */
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Sense of a linear constraint row. */
+enum class RowSense { LessEqual, Equal, GreaterEqual };
+
+/** Direction of optimization. */
+enum class ObjSense { Maximize, Minimize };
+
+/** One (column index, coefficient) pair of a sparse row. */
+using Coeff = std::pair<int, double>;
+
+/**
+ * A mixed-integer linear program:
+ *
+ *     opt  c'x   s.t.  rows,  lo <= x <= hi,  x_j integer for j in I.
+ *
+ * Variables must have a finite lower bound (all Proteus formulations
+ * are naturally non-negative).
+ */
+class LinearProgram
+{
+  public:
+    /** Metadata for one decision variable. */
+    struct Variable {
+        double lo = 0.0;
+        double hi = kInf;
+        double obj = 0.0;
+        bool is_integer = false;
+        std::string name;
+    };
+
+    /** One sparse constraint row. */
+    struct Row {
+        std::vector<Coeff> coeffs;
+        RowSense sense = RowSense::LessEqual;
+        double rhs = 0.0;
+        std::string name;
+    };
+
+    explicit LinearProgram(ObjSense sense = ObjSense::Maximize)
+        : sense_(sense)
+    {}
+
+    /**
+     * Add a continuous variable.
+     * @return its column index.
+     */
+    int addVariable(double lo, double hi, double obj,
+                    std::string name = "");
+
+    /** Add an integer variable. @return its column index. */
+    int addIntVariable(double lo, double hi, double obj,
+                       std::string name = "");
+
+    /** Add a constraint row. @return its row index. */
+    int addConstraint(std::vector<Coeff> coeffs, RowSense sense,
+                      double rhs, std::string name = "");
+
+    /** @return the optimization direction. */
+    ObjSense objSense() const { return sense_; }
+
+    /** Set the optimization direction. */
+    void setObjSense(ObjSense sense) { sense_ = sense; }
+
+    /** @return the number of variables (columns). */
+    int numVariables() const { return static_cast<int>(vars_.size()); }
+
+    /** @return the number of constraints (rows). */
+    int numConstraints() const { return static_cast<int>(rows_.size()); }
+
+    /** @return metadata for column @p j. */
+    const Variable& variable(int j) const { return vars_[j]; }
+
+    /** @return mutable metadata for column @p j (bounds tweaking). */
+    Variable& variable(int j) { return vars_[j]; }
+
+    /** @return row @p i. */
+    const Row& row(int i) const { return rows_[i]; }
+
+    /** @return indices of the integer variables. */
+    const std::vector<int>& integerVariables() const { return int_vars_; }
+
+    /** @return the objective value of assignment @p x. */
+    double objectiveValue(const std::vector<double>& x) const;
+
+    /**
+     * Check whether @p x satisfies all rows and bounds to tolerance
+     * @p tol (integrality is not checked).
+     */
+    bool isFeasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  private:
+    ObjSense sense_;
+    std::vector<Variable> vars_;
+    std::vector<Row> rows_;
+    std::vector<int> int_vars_;
+};
+
+/** Termination status of an LP or MILP solve. */
+enum class SolveStatus {
+    Optimal,      ///< proven optimal (within gap tolerance for MILP)
+    Feasible,     ///< feasible incumbent, optimality not proven
+    Infeasible,   ///< no feasible point exists
+    Unbounded,    ///< the objective is unbounded
+    IterLimit,    ///< iteration/node limit reached without an incumbent
+    TimeLimit,    ///< wall-clock limit reached without an incumbent
+};
+
+/** @return a human-readable name for @p status. */
+const char* toString(SolveStatus status);
+
+/** Result of an LP or MILP solve. */
+struct Solution {
+    SolveStatus status = SolveStatus::Infeasible;
+    double objective = 0.0;
+    std::vector<double> x;
+    /** Best proven bound (MILP); equals objective when Optimal. */
+    double bound = 0.0;
+    /** Simplex iterations (LP) or B&B nodes (MILP) used. */
+    std::int64_t work = 0;
+
+    /** @return true when a usable assignment is available. */
+    bool
+    hasSolution() const
+    {
+        return status == SolveStatus::Optimal ||
+               status == SolveStatus::Feasible;
+    }
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_SOLVER_LP_H_

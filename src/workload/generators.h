@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Workload generators reproducing the paper's traces (§6.1.3).
+ *
+ *  - Twitter-like diurnal trace: per-second aggregate rates with a
+ *    diurnal sinusoid, noise and occasional spikes; Zipf(alpha=1.001)
+ *    split across families; Poisson inter-arrivals within each second.
+ *    This regenerates the statistical object the paper derives from
+ *    the public Twitter trace (see DESIGN.md substitution table).
+ *  - Macro-burst trace (§6.3): flat low demand interleaved with flat
+ *    high-demand bursts, Poisson arrivals.
+ *  - Micro-burstiness traces (§6.4): constant aggregate QPS with
+ *    uniform, Poisson or Gamma(shape 0.05) inter-arrival times.
+ */
+
+#ifndef PROTEUS_WORKLOAD_GENERATORS_H_
+#define PROTEUS_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/trace.h"
+
+namespace proteus {
+
+/** Inter-arrival process shapes for steady traces. */
+enum class ArrivalProcess { Uniform, Poisson, Gamma };
+
+/** @return a printable name for @p p. */
+const char* toString(ArrivalProcess p);
+
+/** Parameters for the Twitter-like diurnal trace. */
+struct DiurnalTraceConfig {
+    Duration duration = seconds(24 * 60);  ///< 24 simulated minutes
+    /** Baseline aggregate demand in QPS. */
+    double base_qps = 250.0;
+    /** Peak-to-baseline diurnal amplitude in QPS. */
+    double diurnal_amplitude_qps = 350.0;
+    /** Number of diurnal peaks across the trace (paper shows ~2). */
+    double cycles = 2.0;
+    /** Multiplicative per-second noise stddev. */
+    double noise_frac = 0.08;
+    /** Probability per second of a short demand spike. */
+    double spike_prob = 0.004;
+    /** Spike magnitude as a multiple of the current rate. */
+    double spike_factor = 1.8;
+    /** Zipf exponent for the family split (paper: 1.001). */
+    double zipf_alpha = 1.001;
+    std::uint64_t seed = 42;
+};
+
+/** Generate the Twitter-like diurnal trace over @p num_families. */
+Trace diurnalTrace(std::size_t num_families,
+                   const DiurnalTraceConfig& config = {});
+
+/** Parameters for the macro-burst trace (§6.3). */
+struct BurstTraceConfig {
+    Duration duration = seconds(24 * 60);
+    double low_qps = 150.0;
+    double high_qps = 900.0;
+    /** Length of each low/high phase. */
+    Duration phase = seconds(4 * 60);
+    double zipf_alpha = 1.001;
+    std::uint64_t seed = 43;
+};
+
+/** Generate the macro-burst trace over @p num_families. */
+Trace burstTrace(std::size_t num_families,
+                 const BurstTraceConfig& config = {});
+
+/**
+ * Generate a steady trace at @p qps aggregate over @p duration with
+ * the given inter-arrival process, split across families by Zipf
+ * (alpha 1.001). Gamma uses shape 0.05 (paper §6.4), i.e. extremely
+ * bursty inter-arrivals at unchanged mean rate.
+ */
+Trace steadyTrace(std::size_t num_families, double qps,
+                  Duration duration, ArrivalProcess process,
+                  std::uint64_t seed = 44);
+
+/**
+ * Generate a steady single-family trace (helper for batching tests).
+ */
+Trace steadySingleFamilyTrace(FamilyId family, double qps,
+                              Duration duration,
+                              ArrivalProcess process,
+                              std::uint64_t seed = 45);
+
+}  // namespace proteus
+
+#endif  // PROTEUS_WORKLOAD_GENERATORS_H_

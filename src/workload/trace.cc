@@ -1,0 +1,101 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/logging.h"
+
+namespace proteus {
+
+Trace::Trace(std::vector<TraceEvent> events)
+    : events_(std::move(events))
+{
+    sort();
+}
+
+void
+Trace::append(Time at, FamilyId family)
+{
+    events_.push_back(TraceEvent{at, family});
+}
+
+void
+Trace::sort()
+{
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.at < b.at;
+                     });
+}
+
+Time
+Trace::endTime() const
+{
+    return events_.empty() ? 0 : events_.back().at;
+}
+
+std::vector<double>
+Trace::demand(std::size_t num_families, Time from, Time to) const
+{
+    PROTEUS_ASSERT(to > from, "empty demand window");
+    std::vector<double> qps(num_families, 0.0);
+    auto lo = std::lower_bound(
+        events_.begin(), events_.end(), from,
+        [](const TraceEvent& e, Time t) { return e.at < t; });
+    for (auto it = lo; it != events_.end() && it->at < to; ++it) {
+        PROTEUS_ASSERT(it->family < num_families,
+                       "trace family out of range");
+        qps[it->family] += 1.0;
+    }
+    double window_s = toSeconds(to - from);
+    for (auto& q : qps)
+        q /= window_s;
+    return qps;
+}
+
+double
+Trace::averageQps() const
+{
+    if (events_.empty())
+        return 0.0;
+    double span = toSeconds(std::max<Time>(endTime(), 1));
+    return static_cast<double>(events_.size()) / span;
+}
+
+void
+Trace::writeCsv(std::ostream& os) const
+{
+    os << "time_us,family\n";
+    for (const auto& e : events_)
+        os << e.at << "," << e.family << "\n";
+}
+
+Trace
+Trace::readCsv(std::istream& is)
+{
+    Trace trace;
+    std::string line;
+    bool first = true;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (first && line.rfind("time_us", 0) == 0) {
+            first = false;
+            continue;
+        }
+        first = false;
+        auto comma = line.find(',');
+        PROTEUS_ASSERT(comma != std::string::npos,
+                       "malformed trace row: ", line);
+        Time at = std::stoll(line.substr(0, comma));
+        FamilyId family = static_cast<FamilyId>(
+            std::stoul(line.substr(comma + 1)));
+        trace.append(at, family);
+    }
+    trace.sort();
+    return trace;
+}
+
+}  // namespace proteus

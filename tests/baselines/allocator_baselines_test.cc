@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/clipper.h"
+#include "baselines/infaas.h"
+#include "baselines/sommelier.h"
+#include "testing/fixtures.h"
+
+namespace proteus {
+namespace {
+
+using testing::miniWorld;
+using testing::World;
+
+std::vector<double>
+demandOf(const World& w, std::initializer_list<double> values)
+{
+    std::vector<double> d(w.registry.numFamilies(), 0.0);
+    std::size_t i = 0;
+    for (double v : values) {
+        if (i >= d.size())
+            break;
+        d[i++] = v;
+    }
+    return d;
+}
+
+TEST(ClipperAllocatorTest, PlanIsStatic)
+{
+    World w = miniWorld();
+    ClipperAllocator alloc(&w.registry, &w.cluster, w.profiles.get(),
+                           ClipperMode::HighThroughput);
+    AllocationInput a;
+    a.demand_qps = demandOf(w, {100.0, 40.0, 30.0});
+    Allocation first = alloc.allocate(a);
+    AllocationInput b;
+    b.demand_qps = demandOf(w, {500.0, 1.0, 1.0});  // very different
+    Allocation second = alloc.allocate(b);
+    ASSERT_EQ(first.hosting.size(), second.hosting.size());
+    for (DeviceId d = 0; d < first.hosting.size(); ++d)
+        EXPECT_EQ(first.hosting[d], second.hosting[d]) << d;
+}
+
+TEST(ClipperAllocatorTest, HtPinsLeastAccurateVariants)
+{
+    World w = miniWorld();
+    ClipperAllocator alloc(&w.registry, &w.cluster, w.profiles.get(),
+                           ClipperMode::HighThroughput);
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {100.0, 40.0, 30.0});
+    Allocation plan = alloc.allocate(in);
+    for (const auto& h : plan.hosting) {
+        if (!h)
+            continue;
+        FamilyId f = w.registry.familyOf(*h);
+        EXPECT_EQ(*h, w.registry.leastAccurate(f));
+    }
+}
+
+TEST(ClipperAllocatorTest, HaPinsMostAccurateUsableVariants)
+{
+    World w = miniWorld();
+    ClipperAllocator alloc(&w.registry, &w.cluster, w.profiles.get(),
+                           ClipperMode::HighAccuracy);
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {20.0, 10.0, 10.0});
+    Allocation plan = alloc.allocate(in);
+    bool hosted_any = false;
+    for (const auto& h : plan.hosting) {
+        if (!h)
+            continue;
+        hosted_any = true;
+        FamilyId f = w.registry.familyOf(*h);
+        // The pinned variant is the most accurate that is usable on
+        // at least one device type.
+        const auto& vs = w.registry.variantsOf(f);
+        VariantId expected = vs.front();
+        for (auto it = vs.rbegin(); it != vs.rend(); ++it) {
+            bool usable = false;
+            for (DeviceTypeId t = 0; t < w.cluster.numTypes(); ++t)
+                usable |= w.profiles->get(*it, t).usable();
+            if (usable) {
+                expected = *it;
+                break;
+            }
+        }
+        EXPECT_EQ(*h, expected);
+    }
+    EXPECT_TRUE(hosted_any);
+}
+
+TEST(SommelierAllocatorTest, PlacementFrozenAfterFirstCall)
+{
+    World w = miniWorld(4, 2, 2);
+    SommelierAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput a;
+    a.demand_qps = demandOf(w, {100.0, 40.0, 30.0});
+    Allocation first = alloc.allocate(a);
+
+    auto family_map = [&](const Allocation& plan) {
+        std::vector<int> fam(plan.hosting.size(), -1);
+        for (DeviceId d = 0; d < plan.hosting.size(); ++d) {
+            if (plan.hosting[d])
+                fam[d] = static_cast<int>(
+                    w.registry.familyOf(*plan.hosting[d]));
+        }
+        return fam;
+    };
+    auto fam1 = family_map(first);
+
+    // Radically different demand: variants may change, families may
+    // shrink (devices can idle), but no device may switch family.
+    AllocationInput b;
+    b.demand_qps = demandOf(w, {400.0, 5.0, 5.0});
+    b.current = &first;
+    Allocation second = alloc.allocate(b);
+    auto fam2 = family_map(second);
+    for (std::size_t d = 0; d < fam1.size(); ++d) {
+        if (fam2[d] != -1)
+            EXPECT_EQ(fam2[d], fam1[d]) << "device " << d;
+    }
+}
+
+TEST(SommelierAllocatorTest, StillScalesAccuracyWithinFamilies)
+{
+    World w = miniWorld(4, 2, 2);
+    SommelierAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput a;
+    a.demand_qps = demandOf(w, {30.0, 10.0, 10.0});
+    Allocation first = alloc.allocate(a);
+    double acc_low = first.expected_accuracy;
+    // Crank demand on family 0: its devices must downshift variants.
+    AllocationInput b;
+    b.demand_qps = demandOf(w, {600.0, 10.0, 10.0});
+    b.current = &first;
+    Allocation second = alloc.allocate(b);
+    EXPECT_LE(second.expected_accuracy, acc_low);
+}
+
+TEST(InfaasAllocatorTest, MeetsModerateDemand)
+{
+    World w = miniWorld(4, 2, 2);
+    InfaasAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {100.0, 40.0, 30.0});
+    Allocation plan = alloc.allocate(in);
+    for (FamilyId f = 0; f < 3; ++f) {
+        EXPECT_GE(plan.family_capacity[f], in.demand_qps[f])
+            << w.registry.family(f).name;
+        EXPECT_NEAR(plan.routedFraction(f), 1.0, 1e-6);
+    }
+}
+
+TEST(InfaasAllocatorTest, RoutingIsCapacityProportional)
+{
+    World w = miniWorld(4, 2, 2);
+    InfaasAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {200.0, 0.0, 0.0});
+    Allocation plan = alloc.allocate(in);
+    for (const DeviceShare& s : plan.routing[0]) {
+        DeviceTypeId t = w.cluster.device(s.device).type;
+        double peak = w.profiles->get(*plan.hosting[s.device], t)
+                          .peak_qps;
+        EXPECT_NEAR(s.weight,
+                    peak / plan.family_capacity[0] *
+                        plan.routedFraction(0),
+                    1e-9);
+    }
+}
+
+TEST(InfaasAllocatorTest, UpgradesAccuracyOnSurplus)
+{
+    World w = miniWorld(4, 2, 2);
+    InfaasAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    // First a heavy load (low-accuracy variants), then a light one:
+    // the heuristic should climb back up in accuracy.
+    AllocationInput heavy;
+    heavy.demand_qps = demandOf(w, {800.0, 200.0, 100.0});
+    Allocation plan_heavy = alloc.allocate(heavy);
+    AllocationInput light;
+    light.demand_qps = demandOf(w, {5.0, 2.0, 2.0});
+    light.current = &plan_heavy;
+    Allocation plan_light = alloc.allocate(light);
+    EXPECT_GT(plan_light.expected_accuracy,
+              plan_heavy.expected_accuracy);
+}
+
+TEST(InfaasAllocatorTest, OverloadServesAtMostCapacity)
+{
+    World w = miniWorld(1, 0, 1);
+    InfaasAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {1e6, 0.0, 0.0});
+    Allocation plan = alloc.allocate(in);
+    EXPECT_LT(plan.planned_fraction, 1.0);
+    EXPECT_LE(plan.routedFraction(0), 1.0 + 1e-9);
+}
+
+TEST(InfaasAllocatorTest, ZeroDecisionDelay)
+{
+    World w = miniWorld();
+    InfaasAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    EXPECT_EQ(alloc.decisionDelay(), 0);
+}
+
+}  // namespace
+}  // namespace proteus

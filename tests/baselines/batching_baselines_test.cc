@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "baselines/aimd_batching.h"
+#include "baselines/nexus_batching.h"
+#include "core/batching.h"
+
+namespace proteus {
+namespace {
+
+BatchProfile
+makeProfile(Duration overhead, Duration per_item, int max_batch,
+            int table_size = 32)
+{
+    BatchProfile prof;
+    for (int b = 1; b <= table_size; ++b)
+        prof.latency.push_back(overhead + per_item * b);
+    prof.max_batch = max_batch;
+    prof.peak_qps = max_batch / toSeconds(prof.latencyFor(max_batch));
+    return prof;
+}
+
+struct QueueFixture {
+    std::deque<Query*> queue;
+    std::vector<Query> storage;
+
+    void
+    add(Time arrival, Duration slo)
+    {
+        storage.reserve(64);
+        storage.push_back(Query{});
+        storage.back().arrival = arrival;
+        storage.back().deadline = arrival + slo;
+        queue.push_back(&storage.back());
+    }
+};
+
+WorkerView
+view(Time now, const QueueFixture& fix, const BatchProfile& prof,
+     Duration slo)
+{
+    WorkerView v;
+    v.now = now;
+    v.queue = &fix.queue;
+    v.profile = &prof;
+    v.slo = slo;
+    return v;
+}
+
+// ---------------------------------------------------------------- AIMD
+
+TEST(AimdBatchingTest, StartsWithBatchOne)
+{
+    BatchProfile prof = makeProfile(millis(1), millis(1), 8);
+    QueueFixture fix;
+    fix.add(0, millis(100));
+    AimdBatching policy;
+    BatchAction a = policy.decide(view(millis(1), fix, prof,
+                                       millis(100)));
+    EXPECT_EQ(a.execute, 1);
+    EXPECT_EQ(policy.targetBatch(), 1);
+}
+
+TEST(AimdBatchingTest, AdditiveIncreaseOnCleanBatches)
+{
+    BatchProfile prof = makeProfile(millis(1), millis(1), 8);
+    AimdBatching policy;
+    QueueFixture fix;
+    fix.add(0, millis(100));
+    policy.decide(view(millis(1), fix, prof, millis(100)));
+    for (int i = 0; i < 5; ++i)
+        policy.onBatchOutcome(1, /*any_violation=*/false);
+    EXPECT_EQ(policy.targetBatch(), 6);
+}
+
+TEST(AimdBatchingTest, MultiplicativeDecreaseOnViolation)
+{
+    BatchProfile prof = makeProfile(millis(1), millis(1), 8);
+    AimdBatching policy;
+    QueueFixture fix;
+    fix.add(0, millis(100));
+    policy.decide(view(millis(1), fix, prof, millis(100)));
+    for (int i = 0; i < 7; ++i)
+        policy.onBatchOutcome(1, false);  // target -> 8
+    policy.onBatchOutcome(8, /*any_violation=*/true);
+    EXPECT_EQ(policy.targetBatch(), 4);
+    policy.onBatchOutcome(4, true);
+    EXPECT_EQ(policy.targetBatch(), 2);
+}
+
+TEST(AimdBatchingTest, NeverBelowOne)
+{
+    BatchProfile prof = makeProfile(millis(1), millis(1), 8);
+    AimdBatching policy;
+    QueueFixture fix;
+    fix.add(0, millis(100));
+    policy.decide(view(millis(1), fix, prof, millis(100)));
+    for (int i = 0; i < 10; ++i)
+        policy.onBatchOutcome(1, true);
+    EXPECT_EQ(policy.targetBatch(), 1);
+}
+
+TEST(AimdBatchingTest, WaitsForFullBatchThenFlushes)
+{
+    BatchProfile prof = makeProfile(millis(1), millis(1), 8);
+    AimdBatching policy;
+    QueueFixture fix;
+    const Duration slo = millis(100);
+    fix.add(millis(0), slo);
+    policy.decide(view(millis(1), fix, prof, slo));
+    for (int i = 0; i < 3; ++i)
+        policy.onBatchOutcome(1, false);  // target 4
+    // Queue of 2 < target 4: waits until arrival + SLO/4.
+    QueueFixture fix2;
+    fix2.add(millis(10), slo);
+    fix2.add(millis(11), slo);
+    BatchAction a = policy.decide(view(millis(12), fix2, prof, slo));
+    EXPECT_EQ(a.execute, 0);
+    EXPECT_EQ(a.wake_at, millis(10) + millis(25));
+    // After the flush deadline it executes what it has.
+    BatchAction b = policy.decide(view(millis(40), fix2, prof, slo));
+    EXPECT_EQ(b.execute, 2);
+}
+
+TEST(AimdBatchingTest, CanExceedSloSafeBatch)
+{
+    // AIMD probes beyond the half-SLO-safe max batch; only the
+    // profiled (memory) range caps it.
+    BatchProfile prof = makeProfile(millis(1), millis(1), /*max=*/2,
+                                    /*table=*/16);
+    AimdBatching policy;
+    QueueFixture fix;
+    const Duration slo = millis(100);
+    for (int i = 0; i < 16; ++i)
+        fix.add(millis(i), slo);
+    policy.decide(view(millis(16), fix, prof, slo));
+    for (int i = 0; i < 20; ++i)
+        policy.onBatchOutcome(1, false);
+    EXPECT_GT(policy.targetBatch(), 2);
+    // The hard (memory/profiled) cap is applied on the next decision.
+    BatchAction a = policy.decide(view(millis(17), fix, prof, slo));
+    EXPECT_LE(a.execute, 16);
+    EXPECT_LE(policy.targetBatch(), 16);
+}
+
+// --------------------------------------------------------------- Nexus
+
+TEST(NexusBatchingTest, WorkConservingExecutesImmediately)
+{
+    BatchProfile prof = makeProfile(millis(2), millis(3), 8);
+    QueueFixture fix;
+    const Duration slo = millis(100);
+    fix.add(millis(0), slo);
+    NexusBatching policy;
+    // Far from any deadline, Nexus still executes now (batch 1): it
+    // never waits.
+    BatchAction a = policy.decide(view(millis(1), fix, prof, slo));
+    EXPECT_EQ(a.execute, 1);
+    EXPECT_EQ(a.wake_at, kNoTime);
+}
+
+TEST(NexusBatchingTest, EarlyDropsExpired)
+{
+    BatchProfile prof = makeProfile(millis(2), millis(3), 8);
+    QueueFixture fix;
+    fix.add(millis(0), millis(10));    // hopeless at t=50
+    fix.add(millis(45), millis(100));  // serveable
+    NexusBatching policy;
+    BatchAction a = policy.decide(view(millis(50), fix, prof,
+                                       millis(100)));
+    EXPECT_EQ(a.drop, 1);
+    EXPECT_EQ(a.execute, 1);
+}
+
+TEST(NexusBatchingTest, BatchBoundedByHeadDeadline)
+{
+    BatchProfile prof = makeProfile(millis(2), millis(3), 8);
+    QueueFixture fix;
+    const Duration slo = millis(20);
+    for (int i = 0; i < 8; ++i)
+        fix.add(millis(i), slo);
+    // Head deadline 20 ms; at t=5 latency(4)=14 -> 19 ok,
+    // latency(5)=17 -> 22 > 20. Expect 4.
+    NexusBatching policy;
+    BatchAction a = policy.decide(view(millis(5), fix, prof, slo));
+    EXPECT_EQ(a.execute, 4);
+}
+
+TEST(NexusBatchingTest, CapsAtMaxBatch)
+{
+    BatchProfile prof = makeProfile(millis(1), millis(1), 3);
+    QueueFixture fix;
+    const Duration slo = millis(500);
+    for (int i = 0; i < 10; ++i)
+        fix.add(millis(i), slo);
+    NexusBatching policy;
+    BatchAction a = policy.decide(view(millis(10), fix, prof, slo));
+    EXPECT_EQ(a.execute, 3);
+}
+
+TEST(NexusBatchingTest, EmptyAfterDropsIsFine)
+{
+    BatchProfile prof = makeProfile(millis(2), millis(3), 8);
+    QueueFixture fix;
+    fix.add(millis(0), millis(5));
+    NexusBatching policy;
+    BatchAction a = policy.decide(view(millis(60), fix, prof,
+                                       millis(5)));
+    EXPECT_EQ(a.drop, 1);
+    EXPECT_EQ(a.execute, 0);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,85 @@
+#include "cluster/device.h"
+
+#include <gtest/gtest.h>
+
+namespace proteus {
+namespace {
+
+TEST(ClusterTest, EmptyCluster)
+{
+    Cluster c;
+    EXPECT_EQ(c.numTypes(), 0u);
+    EXPECT_EQ(c.numDevices(), 0u);
+}
+
+TEST(ClusterTest, AddTypesAndDevices)
+{
+    Cluster c;
+    DeviceTypeId t0 = c.addDeviceType(
+        DeviceTypeInfo{"a", 1.0, 1.0, 0.5, 1024.0});
+    DeviceTypeId t1 = c.addDeviceType(
+        DeviceTypeInfo{"b", 2.0, 2.0, 0.9, 2048.0});
+    c.addDevices(t0, 3);
+    c.addDevices(t1, 2);
+    EXPECT_EQ(c.numTypes(), 2u);
+    EXPECT_EQ(c.numDevices(), 5u);
+    EXPECT_EQ(c.countOfType(t0), 3);
+    EXPECT_EQ(c.countOfType(t1), 2);
+    EXPECT_EQ(c.typeInfo(t1).name, "b");
+}
+
+TEST(ClusterTest, DeviceIdsAreDenseAndTyped)
+{
+    Cluster c;
+    DeviceTypeId t0 = c.addDeviceType(
+        DeviceTypeInfo{"a", 1.0, 1.0, 0.5, 1024.0});
+    c.addDevices(t0, 4);
+    for (DeviceId d = 0; d < 4; ++d) {
+        EXPECT_EQ(c.device(d).id, d);
+        EXPECT_EQ(c.device(d).type, t0);
+    }
+    auto of_type = c.devicesOfType(t0);
+    EXPECT_EQ(of_type.size(), 4u);
+}
+
+TEST(ClusterTest, PaperClusterMatchesTestbed)
+{
+    StandardTypes types;
+    Cluster c = paperCluster(&types);
+    // §6.1.5: 20 CPU + 10 GTX 1080 Ti + 10 V100 workers.
+    EXPECT_EQ(c.numDevices(), 40u);
+    EXPECT_EQ(c.countOfType(types.cpu), 20);
+    EXPECT_EQ(c.countOfType(types.gtx1080ti), 10);
+    EXPECT_EQ(c.countOfType(types.v100), 10);
+}
+
+TEST(ClusterTest, EdgeClusterIsSmall)
+{
+    Cluster c = edgeCluster();
+    EXPECT_EQ(c.numDevices(), 7u);
+}
+
+TEST(ClusterTest, StandardTypePerformanceOrdering)
+{
+    StandardTypes types;
+    Cluster c = paperCluster(&types);
+    EXPECT_LT(c.typeInfo(types.cpu).gflops_per_ms,
+              c.typeInfo(types.gtx1080ti).gflops_per_ms);
+    EXPECT_LT(c.typeInfo(types.gtx1080ti).gflops_per_ms,
+              c.typeInfo(types.v100).gflops_per_ms);
+    // GPUs amortize batches better (smaller marginal factor).
+    EXPECT_LT(c.typeInfo(types.v100).batch_efficiency,
+              c.typeInfo(types.cpu).batch_efficiency);
+}
+
+TEST(ClusterTest, AddZeroDevicesIsNoop)
+{
+    Cluster c;
+    DeviceTypeId t = c.addDeviceType(
+        DeviceTypeInfo{"a", 1.0, 1.0, 0.5, 1024.0});
+    c.addDevices(t, 0);
+    EXPECT_EQ(c.numDevices(), 0u);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,98 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace proteus {
+namespace {
+
+TEST(JsonTest, ParsesScalars)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson("42.5", &v));
+    EXPECT_DOUBLE_EQ(v.asNumber(), 42.5);
+    ASSERT_TRUE(parseJson("-7", &v));
+    EXPECT_DOUBLE_EQ(v.asNumber(), -7.0);
+    ASSERT_TRUE(parseJson("true", &v));
+    EXPECT_TRUE(v.asBool());
+    ASSERT_TRUE(parseJson("false", &v));
+    EXPECT_FALSE(v.asBool());
+    ASSERT_TRUE(parseJson("null", &v));
+    EXPECT_TRUE(v.isNull());
+    ASSERT_TRUE(parseJson("\"hello\"", &v));
+    EXPECT_EQ(v.asString(), "hello");
+}
+
+TEST(JsonTest, ParsesNestedStructures)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson(
+        R"({"a": [1, 2, {"b": "c"}], "d": {"e": true}})", &v));
+    ASSERT_TRUE(v.isObject());
+    const auto& arr = v.at("a").asArray();
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(arr[0].asNumber(), 1.0);
+    EXPECT_EQ(arr[2].at("b").asString(), "c");
+    EXPECT_TRUE(v.at("d").at("e").asBool());
+}
+
+TEST(JsonTest, EmptyContainers)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson("{}", &v));
+    EXPECT_TRUE(v.isObject());
+    EXPECT_TRUE(v.keys().empty());
+    ASSERT_TRUE(parseJson("[]", &v));
+    EXPECT_TRUE(v.asArray().empty());
+}
+
+TEST(JsonTest, EscapeSequences)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson(R"("a\nb\t\"c\"\\")", &v));
+    EXPECT_EQ(v.asString(), "a\nb\t\"c\"\\");
+}
+
+TEST(JsonTest, WhitespaceTolerant)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson("  {\n \"x\" :\t1 ,\n\"y\": [ 2 ] }\n", &v));
+    EXPECT_DOUBLE_EQ(v.at("x").asNumber(), 1.0);
+}
+
+TEST(JsonTest, RejectsMalformedInput)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(parseJson("{", &v, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseJson("{\"a\" 1}", &v, &error));
+    EXPECT_FALSE(parseJson("[1, 2,]", &v, &error));
+    EXPECT_FALSE(parseJson("\"unterminated", &v, &error));
+    EXPECT_FALSE(parseJson("tru", &v, &error));
+    EXPECT_FALSE(parseJson("1 2", &v, &error));
+}
+
+TEST(JsonTest, AccessHelpers)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson(R"({"a": 3, "s": "x", "b": true})", &v));
+    EXPECT_DOUBLE_EQ(v.numberOr("a", 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(v.numberOr("missing", 7.5), 7.5);
+    EXPECT_EQ(v.stringOr("s", "y"), "x");
+    EXPECT_EQ(v.stringOr("missing", "y"), "y");
+    EXPECT_TRUE(v.boolOr("b", false));
+    EXPECT_TRUE(v.boolOr("missing", true));
+    EXPECT_TRUE(v.has("a"));
+    EXPECT_FALSE(v.has("z"));
+}
+
+TEST(JsonTest, KeysLists)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson(R"({"b": 1, "a": 2})", &v));
+    auto keys = v.keys();
+    ASSERT_EQ(keys.size(), 2u);
+}
+
+}  // namespace
+}  // namespace proteus

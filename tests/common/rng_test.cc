@@ -1,0 +1,130 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace proteus {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.uniform() == b.uniform();
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRangeRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(RngTest, UniformIntInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyInverseRate)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, PoissonMeanMatches)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.poisson(6.5));
+    EXPECT_NEAR(sum / n, 6.5, 0.1);
+}
+
+TEST(RngTest, GammaMeanMatchesShapeTimesScale)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gamma(0.05, 20.0);  // mean 1.0, very bursty
+    EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(RngTest, PickWeightedHonorsWeights)
+{
+    Rng rng(19);
+    std::vector<double> w{1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 40000; ++i)
+        counts[rng.pickWeighted(w)]++;
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(ZipfTest, PmfSumsToOne)
+{
+    ZipfDistribution z(9, 1.001);
+    double total = 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i)
+        total += z.pmf(i);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, MassDecreasesWithRank)
+{
+    ZipfDistribution z(9, 1.001);
+    for (std::size_t i = 1; i < z.size(); ++i)
+        EXPECT_GT(z.pmf(i - 1), z.pmf(i));
+}
+
+TEST(ZipfTest, SampleFrequenciesTrackPmf)
+{
+    ZipfDistribution z(5, 1.2);
+    Rng rng(23);
+    std::vector<int> counts(5, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[z.sample(rng)]++;
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_NEAR(static_cast<double>(counts[i]) / n, z.pmf(i), 0.01);
+}
+
+TEST(ZipfTest, SingleRankAlwaysZero)
+{
+    ZipfDistribution z(1, 1.001);
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace proteus

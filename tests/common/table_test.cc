@@ -1,0 +1,59 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace proteus {
+namespace {
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "qps"});
+    t.addRow({"resnet", "100"});
+    t.addRow({"x", "2"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("resnet"), std::string::npos);
+    // Separator line present after the header.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvOutput)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, ShortRowsPadded)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_FALSE(oss.str().empty());
+}
+
+TEST(FormatTest, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(99.95, 1), "100.0%");
+    EXPECT_EQ(fmtPercent(84.25, 2), "84.25%");
+}
+
+}  // namespace
+}  // namespace proteus

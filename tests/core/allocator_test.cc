@@ -1,0 +1,237 @@
+#include "core/ilp_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/milp.h"
+#include "testing/fixtures.h"
+
+namespace proteus {
+namespace {
+
+using testing::miniWorld;
+using testing::paperWorld;
+using testing::World;
+
+/** Demand vector sized to the world, with per-family values. */
+std::vector<double>
+demandOf(const World& w, std::initializer_list<double> values)
+{
+    std::vector<double> d(w.registry.numFamilies(), 0.0);
+    std::size_t i = 0;
+    for (double v : values) {
+        if (i >= d.size())
+            break;
+        d[i++] = v;
+    }
+    return d;
+}
+
+/** Checks the paper's constraints (Eqs. 1-6) on a plan. */
+void
+checkPlanInvariants(const World& w, const Allocation& plan,
+                    const std::vector<double>& demand)
+{
+    // Eq. 1: one variant per device (by construction of hosting).
+    ASSERT_EQ(plan.hosting.size(), w.cluster.numDevices());
+    // Eq. 2: routed fraction per family <= 1.
+    for (FamilyId f = 0; f < w.registry.numFamilies(); ++f) {
+        EXPECT_LE(plan.routedFraction(f), 1.0 + 1e-9);
+        // Eq. 3: every routed device hosts a variant of the family.
+        for (const DeviceShare& s : plan.routing[f]) {
+            ASSERT_TRUE(plan.hosting[s.device].has_value());
+            EXPECT_EQ(w.registry.familyOf(*plan.hosting[s.device]), f);
+            EXPECT_GT(s.weight, 0.0);
+        }
+    }
+    // Eq. 5-ish: per-device assigned QPS within its peak capacity.
+    for (FamilyId f = 0; f < w.registry.numFamilies(); ++f) {
+        for (const DeviceShare& s : plan.routing[f]) {
+            DeviceTypeId t = w.cluster.device(s.device).type;
+            double peak =
+                w.profiles->get(*plan.hosting[s.device], t).peak_qps;
+            EXPECT_LE(s.weight * demand[f], peak * (1.0 + 1e-6))
+                << "device " << s.device;
+        }
+    }
+}
+
+TEST(IlpAllocatorTest, MeetsFeasibleDemandExactly)
+{
+    World w = miniWorld(4, 2, 2);
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {100.0, 50.0, 30.0});
+    Allocation plan = alloc.allocate(in);
+    checkPlanInvariants(w, plan, in.demand_qps);
+    for (FamilyId f = 0; f < 3; ++f)
+        EXPECT_NEAR(plan.routedFraction(f), 1.0, 1e-6) << f;
+    EXPECT_DOUBLE_EQ(plan.planned_fraction, 1.0);
+}
+
+TEST(IlpAllocatorTest, MaximizesAccuracyAtLowDemand)
+{
+    // With trivial demand the optimum hosts the most accurate
+    // variants, so expected accuracy ~ 100.
+    World w = miniWorld(4, 2, 2);
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {2.0, 1.0, 1.0});
+    Allocation plan = alloc.allocate(in);
+    EXPECT_GT(plan.expected_accuracy, 99.0);
+}
+
+TEST(IlpAllocatorTest, ScalesAccuracyDownUnderLoad)
+{
+    World w = miniWorld(2, 1, 1);
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput lo;
+    lo.demand_qps = demandOf(w, {5.0, 2.0, 2.0});
+    AllocationInput hi;
+    hi.demand_qps = demandOf(w, {400.0, 150.0, 150.0});
+    double acc_lo = alloc.allocate(lo).expected_accuracy;
+    IlpAllocator alloc2(&w.registry, &w.cluster, w.profiles.get());
+    double acc_hi = alloc2.allocate(hi).expected_accuracy;
+    EXPECT_LT(acc_hi, acc_lo);
+    EXPECT_GE(acc_hi, 80.0);
+}
+
+TEST(IlpAllocatorTest, BacksOffWhenOverloaded)
+{
+    World w = miniWorld(1, 0, 1);
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {1e6, 1e6, 1e6});
+    Allocation plan = alloc.allocate(in);
+    EXPECT_LT(plan.planned_fraction, 1.0);
+    EXPECT_GT(alloc.lastStats().backoff_steps, 0);
+    // Still a valid plan: weights <= 1 etc.
+    checkPlanInvariants(w, plan, in.demand_qps);
+}
+
+TEST(IlpAllocatorTest, ZeroDemandHostsNothing)
+{
+    World w = miniWorld();
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {0.0, 0.0, 0.0});
+    Allocation plan = alloc.allocate(in);
+    for (const auto& h : plan.hosting)
+        EXPECT_FALSE(h.has_value());
+}
+
+TEST(IlpAllocatorTest, ChurnMinimizingExpansionKeepsDevices)
+{
+    World w = miniWorld(4, 2, 2);
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {100.0, 40.0, 30.0});
+    Allocation first = alloc.allocate(in);
+    // Same demand again, current plan supplied: nothing should move.
+    AllocationInput in2 = in;
+    in2.current = &first;
+    Allocation second = alloc.allocate(in2);
+    int moved = 0;
+    for (DeviceId d = 0; d < w.cluster.numDevices(); ++d)
+        moved += first.hosting[d] != second.hosting[d];
+    EXPECT_EQ(moved, 0);
+}
+
+TEST(IlpAllocatorTest, FixMostAccurateAblation)
+{
+    World w = miniWorld(4, 2, 2);
+    IlpAllocatorOptions opts;
+    opts.fix_most_accurate = true;
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get(), opts);
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {50.0, 20.0, 10.0});
+    Allocation plan = alloc.allocate(in);
+    for (DeviceId d = 0; d < w.cluster.numDevices(); ++d) {
+        if (!plan.hosting[d])
+            continue;
+        VariantId v = *plan.hosting[d];
+        EXPECT_EQ(v, w.registry.mostAccurate(w.registry.familyOf(v)));
+    }
+}
+
+TEST(IlpAllocatorTest, UniformAssignmentAblation)
+{
+    World w = miniWorld(4, 2, 2);
+    IlpAllocatorOptions opts;
+    opts.uniform_assignment = true;
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get(), opts);
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {200.0, 50.0, 30.0});
+    Allocation plan = alloc.allocate(in);
+    for (FamilyId f = 0; f < w.registry.numFamilies(); ++f) {
+        if (plan.routing[f].size() < 2)
+            continue;
+        double first = plan.routing[f][0].weight;
+        for (const auto& s : plan.routing[f])
+            EXPECT_NEAR(s.weight, first, 1e-9);
+    }
+}
+
+TEST(IlpAllocatorTest, VariantFilterRestrictsSelection)
+{
+    World w = miniWorld(4, 2, 2);
+    IlpAllocatorOptions opts;
+    VariantId only = w.registry.leastAccurate(0);
+    opts.variant_filter = [&w, only](VariantId v) {
+        return w.registry.familyOf(v) != 0 || v == only;
+    };
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get(), opts);
+    AllocationInput in;
+    in.demand_qps = demandOf(w, {50.0, 20.0, 10.0});
+    Allocation plan = alloc.allocate(in);
+    for (const auto& h : plan.hosting) {
+        if (h && w.registry.familyOf(*h) == 0)
+            EXPECT_EQ(*h, only);
+    }
+}
+
+TEST(IlpAllocatorTest, AggregatedMatchesPerDeviceFormulation)
+{
+    // On a small instance, the device-type aggregation must reach the
+    // same optimal objective as the verbatim per-device MILP of §4.
+    World w = miniWorld(2, 1, 1);
+    std::vector<double> demand = demandOf(w, {60.0, 25.0, 0.0});
+
+    IlpAllocatorOptions opts;
+    opts.keep_plan_hysteresis = 0.0;
+    opts.churn_damping = 0.0;
+    opts.milp_gap = 1e-7;
+    opts.milp_time_limit_sec = 30.0;
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get(), opts);
+    AllocationInput in;
+    in.demand_qps = demand;
+    Allocation plan = alloc.allocate(in);
+
+    LinearProgram per_device =
+        buildPerDeviceMilp(w.registry, w.cluster, *w.profiles, demand);
+    MilpSolver::Options mo;
+    mo.time_limit_sec = 60.0;
+    Solution ref = MilpSolver(mo).solve(per_device);
+    ASSERT_TRUE(ref.hasSolution());
+
+    // Compare accuracy-weighted served QPS. The aggregated model has
+    // a tiny replica penalty; tolerate it.
+    double plan_obj = plan.expected_accuracy * plan.planned_qps;
+    EXPECT_NEAR(plan_obj, ref.objective, ref.objective * 0.01);
+}
+
+TEST(IlpAllocatorTest, PaperScaleSolvesFast)
+{
+    World w = paperWorld();
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get());
+    std::vector<double> demand(w.registry.numFamilies(), 50.0);
+    AllocationInput in;
+    in.demand_qps = demand;
+    Allocation plan = alloc.allocate(in);
+    EXPECT_GT(plan.expected_accuracy, 90.0);
+    EXPECT_LT(alloc.lastStats().solve_seconds, 5.0);
+}
+
+}  // namespace
+}  // namespace proteus

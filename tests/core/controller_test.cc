@@ -1,0 +1,144 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace proteus {
+namespace {
+
+/** Scripted allocator for controller tests. */
+class FakeAllocator : public Allocator
+{
+  public:
+    explicit FakeAllocator(Duration delay = 0) : delay_(delay) {}
+
+    Allocation
+    allocate(const AllocationInput& input) override
+    {
+        ++calls;
+        last_demand = input.demand_qps;
+        Allocation plan;
+        plan.hosting.assign(1, std::nullopt);
+        plan.routing.assign(input.demand_qps.size(), {});
+        return plan;
+    }
+
+    Duration decisionDelay() const override { return delay_; }
+    const char* name() const override { return "fake"; }
+
+    int calls = 0;
+    std::vector<double> last_demand;
+
+  private:
+    Duration delay_;
+};
+
+TEST(ControllerTest, InitialAllocationAppliesImmediately)
+{
+    Simulator sim;
+    FakeAllocator alloc;
+    int applies = 0;
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [&](const Allocation&) { ++applies; });
+    ctl.start({5.0});
+    EXPECT_EQ(alloc.calls, 1);
+    EXPECT_EQ(applies, 1);
+    EXPECT_DOUBLE_EQ(alloc.last_demand[0], 5.0);
+}
+
+TEST(ControllerTest, PeriodicReallocation)
+{
+    Simulator sim;
+    FakeAllocator alloc;
+    int applies = 0;
+    ControllerOptions opts;
+    opts.period = seconds(30.0);
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [&](const Allocation&) { ++applies; }, opts);
+    ctl.start({1.0});
+    sim.run(seconds(95.0));
+    // t=0 (initial), 30, 60, 90.
+    EXPECT_EQ(applies, 4);
+    EXPECT_EQ(ctl.reallocations(), 4);
+}
+
+TEST(ControllerTest, DecisionDelayDefersApply)
+{
+    Simulator sim;
+    FakeAllocator alloc(seconds(4.0));
+    Time applied_at = kNoTime;
+    ControllerOptions opts;
+    opts.period = seconds(30.0);
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [&](const Allocation&) { applied_at = sim.now(); },
+                   opts);
+    ctl.start({1.0});
+    applied_at = kNoTime;
+    sim.run(seconds(40.0));
+    // Periodic trigger at 30, applied at 34.
+    EXPECT_EQ(applied_at, seconds(34.0));
+}
+
+TEST(ControllerTest, BurstRequestDebounced)
+{
+    Simulator sim;
+    FakeAllocator alloc;
+    ControllerOptions opts;
+    opts.period = seconds(1000.0);
+    opts.min_interval = seconds(5.0);
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [](const Allocation&) {}, opts);
+    ctl.start({1.0});
+    // Ten alarms in two seconds: only the first may pass (and even it
+    // is within min_interval of the initial allocation).
+    for (int i = 0; i < 10; ++i) {
+        sim.scheduleAt(millis(200 * i),
+                       [&ctl] { ctl.requestReallocation(); });
+    }
+    sim.run(seconds(3.0));
+    EXPECT_EQ(alloc.calls, 1);  // just the initial one
+    // After the window passes, a request goes through.
+    sim.scheduleAt(seconds(10.0), [&ctl] { ctl.requestReallocation(); });
+    sim.run(seconds(11.0));
+    EXPECT_EQ(alloc.calls, 2);
+}
+
+TEST(ControllerTest, DemandComesFromEstimator)
+{
+    Simulator sim;
+    FakeAllocator alloc;
+    double current = 7.0;
+    ControllerOptions opts;
+    opts.period = seconds(10.0);
+    Controller ctl(&sim, &alloc,
+                   [&] { return std::vector<double>{current}; },
+                   [](const Allocation&) {}, opts);
+    ctl.start({1.0});
+    current = 42.0;
+    sim.run(seconds(15.0));
+    EXPECT_DOUBLE_EQ(alloc.last_demand[0], 42.0);
+}
+
+TEST(ControllerTest, NoOverlappingDecisions)
+{
+    Simulator sim;
+    FakeAllocator alloc(seconds(8.0));
+    ControllerOptions opts;
+    opts.period = seconds(1000.0);
+    opts.min_interval = seconds(0.0);
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [](const Allocation&) {}, opts);
+    ctl.start({1.0});
+    // Two requests while the first decision is still pending.
+    sim.scheduleAt(seconds(1.0), [&] { ctl.requestReallocation(); });
+    sim.scheduleAt(seconds(2.0), [&] { ctl.requestReallocation(); });
+    sim.scheduleAt(seconds(3.0), [&] { ctl.requestReallocation(); });
+    sim.run(seconds(20.0));
+    EXPECT_EQ(alloc.calls, 2);  // initial + one (others coalesced)
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the §7 fairness extension: weighting the worst per-family
+ * effective accuracy in the resource-management MILP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ilp_allocator.h"
+#include "testing/fixtures.h"
+
+namespace proteus {
+namespace {
+
+using testing::miniWorld;
+using testing::World;
+
+/** Mean served accuracy of family @p f under @p plan at @p demand. */
+double
+familyAccuracy(const World& w, const Allocation& plan, FamilyId f,
+               double demand)
+{
+    double acc = 0.0;
+    double served = 0.0;
+    for (const DeviceShare& s : plan.routing[f]) {
+        double qps = s.weight * demand;
+        acc += w.registry.variant(*plan.hosting[s.device]).accuracy *
+               qps;
+        served += qps;
+    }
+    return served > 0.0 ? acc / served : 0.0;
+}
+
+TEST(FairnessTest, WeightRaisesWorstFamilyAccuracy)
+{
+    // Load the cluster enough that someone must downshift; with the
+    // pure objective the light-demand family takes the hit, with a
+    // strong fairness weight the floor rises.
+    World w = miniWorld(2, 1, 1);
+    std::vector<double> demand{350.0, 120.0, 60.0};
+
+    auto solve = [&](double weight) {
+        IlpAllocatorOptions opts;
+        opts.fairness_weight = weight;
+        opts.milp_time_limit_sec = 10.0;
+        IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get(),
+                           opts);
+        AllocationInput in;
+        in.demand_qps = demand;
+        return alloc.allocate(in);
+    };
+
+    Allocation base = solve(0.0);
+    Allocation fair = solve(50.0);
+
+    auto worst = [&](const Allocation& plan) {
+        double m = 101.0;
+        for (FamilyId f = 0; f < 3; ++f) {
+            if (plan.routedFraction(f) > 0.0)
+                m = std::min(m, familyAccuracy(w, plan, f, demand[f]));
+        }
+        return m;
+    };
+    EXPECT_GE(worst(fair), worst(base) - 1e-6);
+    // Fairness cannot raise the total objective (§7: a trade-off).
+    EXPECT_LE(fair.expected_accuracy, base.expected_accuracy + 1e-6);
+}
+
+TEST(FairnessTest, ZeroWeightMatchesBaseObjective)
+{
+    World w = miniWorld(2, 1, 1);
+    std::vector<double> demand{100.0, 40.0, 20.0};
+    IlpAllocatorOptions a;
+    IlpAllocatorOptions b;
+    b.fairness_weight = 0.0;
+    IlpAllocator alloc_a(&w.registry, &w.cluster, w.profiles.get(), a);
+    IlpAllocator alloc_b(&w.registry, &w.cluster, w.profiles.get(), b);
+    AllocationInput in;
+    in.demand_qps = demand;
+    Allocation pa = alloc_a.allocate(in);
+    Allocation pb = alloc_b.allocate(in);
+    EXPECT_NEAR(pa.expected_accuracy, pb.expected_accuracy, 1e-9);
+}
+
+TEST(FairnessTest, StillMeetsDemand)
+{
+    World w = miniWorld(2, 1, 1);
+    IlpAllocatorOptions opts;
+    opts.fairness_weight = 20.0;
+    opts.milp_time_limit_sec = 10.0;
+    IlpAllocator alloc(&w.registry, &w.cluster, w.profiles.get(), opts);
+    AllocationInput in;
+    in.demand_qps = {200.0, 80.0, 40.0};
+    Allocation plan = alloc.allocate(in);
+    for (FamilyId f = 0; f < 3; ++f)
+        EXPECT_NEAR(plan.routedFraction(f), 1.0, 1e-6) << f;
+}
+
+}  // namespace
+}  // namespace proteus

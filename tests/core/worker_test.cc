@@ -1,0 +1,240 @@
+#include "core/worker.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/batching.h"
+#include "sim/simulator.h"
+#include "testing/fixtures.h"
+
+namespace proteus {
+namespace {
+
+using testing::miniWorld;
+using testing::World;
+
+/** Records finished queries. */
+class Recorder : public QueryObserver
+{
+  public:
+    void onArrival(const Query&) override { ++arrivals; }
+    void
+    onFinished(const Query& q) override
+    {
+        finished.push_back(q);
+    }
+    int arrivals = 0;
+    std::vector<Query> finished;
+};
+
+struct WorkerFixture {
+    WorkerFixture()
+        : world(miniWorld()),
+          worker(&sim, &world.cluster, /*device=*/6,  // first v100
+                 &world.registry, world.cost.get(), world.profiles.get(),
+                 &rec, nullptr)
+    {
+        // Device 6 is the first V100 in the 4 cpu + 2 gtx + 2 v100
+        // mini world.
+        EXPECT_EQ(world.cluster.device(6).type, world.types.v100);
+        worker.setBatchingPolicy(std::make_unique<ProteusBatching>());
+    }
+
+    Query*
+    makeQuery(FamilyId family, Time arrival)
+    {
+        arena.push_back(Query{});
+        Query& q = arena.back();
+        q.id = arena.size();
+        q.family = family;
+        q.arrival = arrival;
+        q.deadline = arrival + world.profiles->slo(family);
+        return &q;
+    }
+
+    World world;
+    Simulator sim;
+    Recorder rec;
+    Worker worker;
+    std::deque<Query> arena;
+};
+
+TEST(WorkerTest, ServesQueryWithinSlo)
+{
+    WorkerFixture fix;
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    VariantId v = fix.world.registry.mostAccurate(resnet);
+    fix.worker.hostVariant(v, /*instant=*/true);
+    ASSERT_TRUE(fix.worker.ready());
+
+    fix.sim.scheduleAt(0, [&] {
+        fix.worker.enqueue(fix.makeQuery(resnet, 0));
+    });
+    fix.sim.run();
+    ASSERT_EQ(fix.rec.finished.size(), 1u);
+    const Query& q = fix.rec.finished[0];
+    EXPECT_EQ(q.status, QueryStatus::Served);
+    EXPECT_LE(q.completion, q.deadline);
+    EXPECT_DOUBLE_EQ(q.accuracy, 100.0);
+    EXPECT_EQ(q.served_by, 6u);
+    EXPECT_EQ(fix.worker.served(), 1u);
+}
+
+TEST(WorkerTest, BatchesQueuedQueries)
+{
+    WorkerFixture fix;
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    VariantId v = fix.world.registry.leastAccurate(resnet);
+    fix.worker.hostVariant(v, true);
+    for (int i = 0; i < 8; ++i) {
+        fix.sim.scheduleAt(millis(i), [&fix, resnet, i] {
+            fix.worker.enqueue(fix.makeQuery(resnet, millis(i)));
+        });
+    }
+    fix.sim.run();
+    EXPECT_EQ(fix.rec.finished.size(), 8u);
+    // The non-work-conserving policy should have grouped them into
+    // far fewer batches than queries.
+    EXPECT_LT(fix.worker.batches(), 8u);
+    EXPECT_GT(fix.worker.meanBatchSize(), 1.0);
+}
+
+TEST(WorkerTest, UnhostedWorkerDropsWithoutRequeue)
+{
+    WorkerFixture fix;
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    fix.sim.scheduleAt(0, [&] {
+        fix.worker.enqueue(fix.makeQuery(resnet, 0));
+    });
+    fix.sim.run();
+    ASSERT_EQ(fix.rec.finished.size(), 1u);
+    EXPECT_EQ(fix.rec.finished[0].status, QueryStatus::Dropped);
+}
+
+TEST(WorkerTest, LoadDelayPostponesServing)
+{
+    WorkerFixture fix;
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    VariantId v = fix.world.registry.mostAccurate(resnet);
+    Duration load = fix.world.cost->loadTime(fix.world.types.v100, v);
+    fix.sim.scheduleAt(0, [&] {
+        fix.worker.hostVariant(v);  // not instant
+        EXPECT_FALSE(fix.worker.ready());
+        fix.worker.enqueue(fix.makeQuery(resnet, 0));
+    });
+    fix.sim.run();
+    ASSERT_EQ(fix.rec.finished.size(), 1u);
+    EXPECT_GE(fix.rec.finished[0].completion, load);
+}
+
+TEST(WorkerTest, SwapRequeuesQueuedQueries)
+{
+    WorkerFixture fix;
+    std::vector<Query*> requeued;
+    Worker worker(&fix.sim, &fix.world.cluster, 7, &fix.world.registry,
+                  fix.world.cost.get(), fix.world.profiles.get(),
+                  &fix.rec, [&](Query* q) { requeued.push_back(q); });
+    worker.setBatchingPolicy(std::make_unique<ProteusBatching>());
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    FamilyId mobilenet = fix.world.registry.findFamily("mobilenet");
+    VariantId rv = fix.world.registry.mostAccurate(resnet);
+    VariantId mv = fix.world.registry.mostAccurate(mobilenet);
+    worker.hostVariant(rv, true);
+    fix.sim.scheduleAt(0, [&] {
+        worker.enqueue(fix.makeQuery(resnet, 0));
+        worker.enqueue(fix.makeQuery(resnet, 0));
+        // Swap before the batch timer fires: everything requeued.
+        worker.hostVariant(mv, true);
+    });
+    fix.sim.run();
+    EXPECT_EQ(requeued.size(), 2u);
+    EXPECT_EQ(worker.queueLength(), 0u);
+}
+
+TEST(WorkerTest, SupersededLoadIsIgnored)
+{
+    WorkerFixture fix;
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    VariantId a = fix.world.registry.leastAccurate(resnet);
+    VariantId b = fix.world.registry.mostAccurate(resnet);
+    fix.sim.scheduleAt(0, [&] { fix.worker.hostVariant(a); });
+    fix.sim.scheduleAt(millis(1), [&] { fix.worker.hostVariant(b); });
+    fix.sim.run();
+    EXPECT_TRUE(fix.worker.ready());
+    EXPECT_EQ(fix.worker.hostedVariant(), b);
+}
+
+TEST(WorkerTest, LateExecutionMarksServedLate)
+{
+    WorkerFixture fix;
+    FamilyId mobilenet = fix.world.registry.findFamily("mobilenet");
+    // Most accurate mobilenet on CPU is slow relative to the 20 ms
+    // SLO; use a CPU worker so a single execution exceeds it.
+    Worker cpu_worker(&fix.sim, &fix.world.cluster, 0,
+                      &fix.world.registry, fix.world.cost.get(),
+                      fix.world.profiles.get(), &fix.rec, nullptr);
+    cpu_worker.setBatchingPolicy(
+        std::make_unique<ProteusBatching>(/*drop_hopeless=*/false));
+    VariantId v = fix.world.registry.mostAccurate(mobilenet);
+    cpu_worker.hostVariant(v, true);
+    const BatchProfile& prof =
+        fix.world.profiles->get(v, fix.world.types.cpu);
+    if (prof.usable())
+        GTEST_SKIP() << "variant unexpectedly meets the SLO on CPU";
+    fix.sim.scheduleAt(0, [&] {
+        cpu_worker.enqueue(fix.makeQuery(mobilenet, 0));
+    });
+    fix.sim.run();
+    ASSERT_EQ(fix.rec.finished.size(), 1u);
+    // Unusable profile: the worker drops rather than serving late.
+    EXPECT_EQ(fix.rec.finished[0].status, QueryStatus::Dropped);
+}
+
+TEST(WorkerTest, BusyTimeAccumulates)
+{
+    WorkerFixture fix;
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    VariantId v = fix.world.registry.leastAccurate(resnet);
+    fix.worker.hostVariant(v, true);
+    fix.sim.scheduleAt(0, [&] {
+        fix.worker.enqueue(fix.makeQuery(resnet, 0));
+    });
+    fix.sim.run();
+    EXPECT_GT(fix.worker.busyTime(), 0);
+}
+
+TEST(WorkerTest, JitterPreservesDeterminismPerSeed)
+{
+    auto run_once = [](std::uint64_t seed) {
+        World w = miniWorld();
+        Simulator sim;
+        Recorder rec;
+        Worker worker(&sim, &w.cluster, 6, &w.registry, w.cost.get(),
+                      w.profiles.get(), &rec, nullptr, 0.1, seed);
+        worker.setBatchingPolicy(std::make_unique<ProteusBatching>());
+        FamilyId resnet = w.registry.findFamily("resnet");
+        VariantId v = w.registry.leastAccurate(resnet);
+        worker.hostVariant(v, true);
+        std::deque<Query> arena;
+        for (int i = 0; i < 5; ++i) {
+            sim.scheduleAt(millis(10 * i), [&, i] {
+                arena.push_back(Query{});
+                arena.back().family = resnet;
+                arena.back().arrival = sim.now();
+                arena.back().deadline = sim.now() + w.profiles->slo(resnet);
+                worker.enqueue(&arena.back());
+            });
+        }
+        sim.run();
+        Time last = 0;
+        for (const auto& q : rec.finished)
+            last = std::max(last, q.completion);
+        return last;
+    };
+    EXPECT_EQ(run_once(1), run_once(1));
+    EXPECT_NE(run_once(1), run_once(2));
+}
+
+}  // namespace
+}  // namespace proteus

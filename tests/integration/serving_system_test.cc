@@ -1,0 +1,197 @@
+#include "core/serving_system.h"
+
+#include <gtest/gtest.h>
+
+#include "models/model.h"
+#include "testing/fixtures.h"
+#include "workload/generators.h"
+
+namespace proteus {
+namespace {
+
+/** Mini registry + edge cluster system under a steady load. */
+RunResult
+runMini(SystemConfig cfg, double qps = 60.0,
+        Duration duration = seconds(60.0),
+        ArrivalProcess process = ArrivalProcess::Poisson)
+{
+    Cluster cluster;
+    StandardTypes types = addStandardTypes(&cluster);
+    cluster.addDevices(types.cpu, 4);
+    cluster.addDevices(types.gtx1080ti, 2);
+    cluster.addDevices(types.v100, 2);
+    ModelRegistry reg;
+    for (const auto& fam : miniModelZoo())
+        reg.registerFamily(fam);
+    Trace trace = steadyTrace(reg.numFamilies(), qps, duration, process);
+    ServingSystem system(&cluster, &reg, cfg);
+    return system.run(trace);
+}
+
+TEST(ServingSystemTest, ConservationOfQueries)
+{
+    RunResult r = runMini(SystemConfig{});
+    EXPECT_EQ(r.summary.arrivals,
+              r.summary.served + r.summary.served_late +
+                  r.summary.dropped);
+}
+
+TEST(ServingSystemTest, ProteusServesSteadyLoadWell)
+{
+    RunResult r = runMini(SystemConfig{});
+    EXPECT_GT(r.summary.arrivals, 1000u);
+    EXPECT_LT(r.summary.slo_violation_ratio, 0.05);
+    EXPECT_GT(r.summary.effective_accuracy, 90.0);
+}
+
+TEST(ServingSystemTest, MetricsWithinRanges)
+{
+    RunResult r = runMini(SystemConfig{});
+    EXPECT_GE(r.summary.slo_violation_ratio, 0.0);
+    EXPECT_LE(r.summary.slo_violation_ratio, 1.0);
+    EXPECT_GE(r.summary.max_accuracy_drop, 0.0);
+    EXPECT_LE(r.summary.max_accuracy_drop, 100.0);
+    for (const auto& snap : r.timeline) {
+        if (snap.total.completed() > 0) {
+            EXPECT_GE(snap.total.effectiveAccuracy(), 80.0);
+            EXPECT_LE(snap.total.effectiveAccuracy(), 100.0);
+        }
+    }
+}
+
+TEST(ServingSystemTest, DeterministicAcrossRuns)
+{
+    RunResult a = runMini(SystemConfig{});
+    RunResult b = runMini(SystemConfig{});
+    EXPECT_EQ(a.summary.arrivals, b.summary.arrivals);
+    EXPECT_EQ(a.summary.served, b.summary.served);
+    EXPECT_EQ(a.summary.dropped, b.summary.dropped);
+    EXPECT_DOUBLE_EQ(a.summary.effective_accuracy,
+                     b.summary.effective_accuracy);
+}
+
+class AllAllocatorsTest
+    : public ::testing::TestWithParam<AllocatorKind> {};
+
+TEST_P(AllAllocatorsTest, RunsAndConserves)
+{
+    SystemConfig cfg;
+    cfg.allocator = GetParam();
+    RunResult r = runMini(cfg);
+    EXPECT_EQ(r.summary.arrivals,
+              r.summary.served + r.summary.served_late +
+                  r.summary.dropped)
+        << toString(GetParam());
+    EXPECT_GT(r.summary.arrivals, 0u);
+    EXPECT_GE(r.reallocations, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllAllocatorsTest,
+    ::testing::Values(AllocatorKind::ProteusIlp,
+                      AllocatorKind::InfaasAccuracy,
+                      AllocatorKind::ClipperHT, AllocatorKind::ClipperHA,
+                      AllocatorKind::Sommelier, AllocatorKind::ProteusNoMS,
+                      AllocatorKind::ProteusNoQA),
+    [](const auto& info) {
+        std::string name = toString(info.param);
+        for (auto& c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+class AllBatchingTest : public ::testing::TestWithParam<BatchingKind> {};
+
+TEST_P(AllBatchingTest, RunsAndConserves)
+{
+    SystemConfig cfg;
+    cfg.batching = GetParam();
+    RunResult r = runMini(cfg);
+    EXPECT_EQ(r.summary.arrivals,
+              r.summary.served + r.summary.served_late +
+                  r.summary.dropped)
+        << toString(GetParam());
+    // Even the weakest batching policy (static batch of one) must
+    // keep the majority of this moderate load inside the SLO.
+    EXPECT_LT(r.summary.slo_violation_ratio, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllBatchingTest,
+    ::testing::Values(BatchingKind::Proteus, BatchingKind::ClipperAimd,
+                      BatchingKind::NexusEarlyDrop,
+                      BatchingKind::StaticOne),
+    [](const auto& info) {
+        std::string name = toString(info.param);
+        for (auto& c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(ServingSystemTest, ClipperHtNeverScalesAccuracyUp)
+{
+    SystemConfig cfg;
+    cfg.allocator = AllocatorKind::ClipperHT;
+    RunResult r = runMini(cfg, 30.0);
+    // HT pins the least accurate variants: effective accuracy equals
+    // the arrival-weighted least-accurate accuracy, well below 95.
+    EXPECT_LT(r.summary.effective_accuracy, 95.0);
+}
+
+TEST(ServingSystemTest, ProteusNoMsKeepsFullAccuracy)
+{
+    SystemConfig cfg;
+    cfg.allocator = AllocatorKind::ProteusNoMS;
+    RunResult r = runMini(cfg, 30.0);
+    // Without model selection only the most accurate variants serve:
+    // effective accuracy pegged at 100 (paper §6.5).
+    EXPECT_GT(r.summary.effective_accuracy, 99.9);
+}
+
+TEST(ServingSystemTest, EmptyTraceRunsCleanly)
+{
+    Cluster cluster;
+    StandardTypes types = addStandardTypes(&cluster);
+    cluster.addDevices(types.cpu, 1);
+    ModelRegistry reg;
+    for (const auto& fam : miniModelZoo())
+        reg.registerFamily(fam);
+    ServingSystem system(&cluster, &reg, SystemConfig{});
+    RunResult r = system.run(Trace{}, std::vector<double>(3, 1.0));
+    EXPECT_EQ(r.summary.arrivals, 0u);
+}
+
+TEST(ServingSystemTest, SloMultiplierAffectsViolations)
+{
+    SystemConfig tight;
+    tight.slo_multiplier = 1.0;
+    SystemConfig loose;
+    loose.slo_multiplier = 3.0;
+    RunResult rt = runMini(tight, 80.0);
+    RunResult rl = runMini(loose, 80.0);
+    EXPECT_GE(rt.summary.slo_violation_ratio,
+              rl.summary.slo_violation_ratio);
+}
+
+TEST(ServingSystemTest, JitterRunStillConserves)
+{
+    SystemConfig cfg;
+    cfg.latency_jitter_frac = 0.1;
+    RunResult r = runMini(cfg);
+    EXPECT_EQ(r.summary.arrivals,
+              r.summary.served + r.summary.served_late +
+                  r.summary.dropped);
+}
+
+TEST(ServingSystemTest, MeanBatchAboveOneUnderLoad)
+{
+    RunResult r = runMini(SystemConfig{}, 100.0);
+    EXPECT_GT(r.mean_batch_size, 1.0);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Property-style sweeps over the full serving system: across random
+ * seeds, arrival processes and loads, the end-to-end invariants must
+ * hold (conservation, metric ranges, served-implies-deadline-or-late,
+ * batching safety).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/serving_system.h"
+#include "models/model.h"
+#include "workload/generators.h"
+
+namespace proteus {
+namespace {
+
+struct Scenario {
+    ArrivalProcess process;
+    double qps;
+    std::uint64_t seed;
+};
+
+class SystemSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SystemSweep, InvariantsHold)
+{
+    auto [proc_idx, seed] = GetParam();
+    ArrivalProcess process = static_cast<ArrivalProcess>(proc_idx);
+
+    Cluster cluster;
+    StandardTypes types = addStandardTypes(&cluster);
+    cluster.addDevices(types.cpu, 3);
+    cluster.addDevices(types.gtx1080ti, 1);
+    cluster.addDevices(types.v100, 1);
+    ModelRegistry reg;
+    for (const auto& fam : miniModelZoo())
+        reg.registerFamily(fam);
+
+    double qps = 20.0 + 30.0 * seed;
+    Trace trace = steadyTrace(reg.numFamilies(), qps, seconds(30.0),
+                              process, 100 + seed);
+    SystemConfig cfg;
+    cfg.seed = seed;
+    ServingSystem system(&cluster, &reg, cfg);
+    RunResult r = system.run(trace);
+
+    // Conservation.
+    ASSERT_EQ(r.summary.arrivals,
+              r.summary.served + r.summary.served_late +
+                  r.summary.dropped);
+    ASSERT_EQ(r.summary.arrivals, trace.size());
+
+    // Ranges.
+    EXPECT_GE(r.summary.slo_violation_ratio, 0.0);
+    EXPECT_LE(r.summary.slo_violation_ratio, 1.0);
+    if (r.summary.served + r.summary.served_late > 0) {
+        EXPECT_GE(r.summary.effective_accuracy, 80.0);
+        EXPECT_LE(r.summary.effective_accuracy, 100.0);
+    }
+
+    // Family totals sum to the overall totals.
+    std::uint64_t fam_arr = 0, fam_served = 0, fam_drop = 0;
+    for (const auto& c : r.family_totals) {
+        fam_arr += c.arrivals;
+        fam_served += c.completed();
+        fam_drop += c.dropped;
+    }
+    EXPECT_EQ(fam_arr, r.summary.arrivals);
+    EXPECT_EQ(fam_served, r.summary.served + r.summary.served_late);
+    EXPECT_EQ(fam_drop, r.summary.dropped);
+
+    // Timeline sums match totals too.
+    std::uint64_t tl_arr = 0;
+    for (const auto& snap : r.timeline)
+        tl_arr += snap.total.arrivals;
+    EXPECT_EQ(tl_arr, r.summary.arrivals);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SystemSweep,
+    ::testing::Combine(::testing::Range(0, 3),   // arrival processes
+                       ::testing::Range(0, 4))); // seeds/loads
+
+class BatchingSafetySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BatchingSafetySweep, ProteusBatchingOnlyLateWhenOverloaded)
+{
+    auto [proc_idx, load] = GetParam();
+    ArrivalProcess process = static_cast<ArrivalProcess>(proc_idx);
+
+    Cluster cluster;
+    StandardTypes types = addStandardTypes(&cluster);
+    cluster.addDevices(types.v100, 2);
+    ModelRegistry reg;
+    for (const auto& fam : miniModelZoo())
+        reg.registerFamily(fam);
+
+    double qps = 30.0 + load * 40.0;
+    Trace trace = steadyTrace(reg.numFamilies(), qps, seconds(30.0),
+                              process, 55 + load);
+    SystemConfig cfg;
+    ServingSystem system(&cluster, &reg, cfg);
+    RunResult r = system.run(trace);
+
+    // The proactive policy keeps late service (as opposed to drops)
+    // rare: a query that cannot be served in time is dropped instead.
+    if (r.summary.arrivals > 0) {
+        double late_ratio = static_cast<double>(r.summary.served_late) /
+                            static_cast<double>(r.summary.arrivals);
+        EXPECT_LT(late_ratio, 0.05)
+            << toString(process) << " qps=" << qps;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchingSafetySweep,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 3)));
+
+}  // namespace
+}  // namespace proteus

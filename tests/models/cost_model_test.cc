@@ -1,0 +1,129 @@
+#include "models/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace proteus {
+namespace {
+
+using testing::miniWorld;
+using testing::World;
+
+TEST(CostModelTest, LatencyIncreasesWithBatch)
+{
+    World w = miniWorld();
+    for (VariantId v = 0; v < w.registry.numVariants(); ++v) {
+        for (DeviceTypeId t = 0; t < w.cluster.numTypes(); ++t) {
+            double prev = 0.0;
+            for (int b = 1; b <= 16; ++b) {
+                double lat = w.cost->latencyMs(t, v, b);
+                EXPECT_GT(lat, prev);
+                prev = lat;
+            }
+        }
+    }
+}
+
+TEST(CostModelTest, DeviceSpeedOrderingMatchesFig1a)
+{
+    // V100 faster than GTX 1080 Ti faster than CPU for every variant
+    // (batch 1), as in Fig. 1a.
+    World w = miniWorld();
+    for (VariantId v = 0; v < w.registry.numVariants(); ++v) {
+        double cpu = w.cost->latencyMs(w.types.cpu, v, 1);
+        double gtx = w.cost->latencyMs(w.types.gtx1080ti, v, 1);
+        double v100 = w.cost->latencyMs(w.types.v100, v, 1);
+        EXPECT_LT(v100, gtx) << w.registry.variant(v).name;
+        EXPECT_LT(gtx, cpu) << w.registry.variant(v).name;
+    }
+}
+
+TEST(CostModelTest, BiggerVariantIsSlower)
+{
+    World w = miniWorld();
+    FamilyId resnet = w.registry.findFamily("resnet");
+    VariantId small = w.registry.leastAccurate(resnet);
+    VariantId big = w.registry.mostAccurate(resnet);
+    for (DeviceTypeId t = 0; t < w.cluster.numTypes(); ++t) {
+        EXPECT_LT(w.cost->latencyMs(t, small, 1),
+                  w.cost->latencyMs(t, big, 1));
+    }
+}
+
+TEST(CostModelTest, GpusAmortizeBatchingBetterThanCpu)
+{
+    World w = miniWorld();
+    VariantId v = w.registry.mostAccurate(w.registry.findFamily("resnet"));
+    auto marginal = [&](DeviceTypeId t) {
+        double l1 = w.cost->latencyMs(t, v, 1);
+        double l9 = w.cost->latencyMs(t, v, 9);
+        // Marginal per-item cost of batching relative to batch-1
+        // compute time.
+        return (l9 - l1) / 8.0;
+    };
+    const auto& cpu_info = w.cluster.typeInfo(w.types.cpu);
+    const auto& v100_info = w.cluster.typeInfo(w.types.v100);
+    double cpu_item = w.registry.variant(v).gflops /
+                      cpu_info.gflops_per_ms;
+    double v100_item = w.registry.variant(v).gflops /
+                       v100_info.gflops_per_ms;
+    // Relative amortization factor = marginal / single-item time.
+    EXPECT_LT(marginal(w.types.v100) / v100_item,
+              marginal(w.types.cpu) / cpu_item);
+}
+
+TEST(CostModelTest, WeightsAndActivationsArePositive)
+{
+    World w = miniWorld();
+    for (VariantId v = 0; v < w.registry.numVariants(); ++v) {
+        EXPECT_GT(w.cost->weightsMb(v), 0.0);
+        EXPECT_GT(w.cost->activationMb(v), 0.0);
+        // fp32: 4 MB per million parameters.
+        EXPECT_DOUBLE_EQ(w.cost->weightsMb(v),
+                         w.registry.variant(v).params_m * 4.0);
+    }
+}
+
+TEST(CostModelTest, MaxMemoryBatchShrinksWithModelSize)
+{
+    World w = miniWorld();
+    FamilyId f = w.registry.findFamily("efficientnet");
+    VariantId small = w.registry.leastAccurate(f);
+    VariantId big = w.registry.mostAccurate(f);
+    EXPECT_GE(w.cost->maxMemoryBatch(w.types.v100, small),
+              w.cost->maxMemoryBatch(w.types.v100, big));
+}
+
+TEST(CostModelTest, OversizedModelDoesNotFit)
+{
+    World w = miniWorld();
+    // t5-11b weighs ~44 GB; build a full-zoo registry to find it.
+    ModelRegistry reg = paperRegistry();
+    CostModel cost(w.cluster, reg);
+    FamilyId t5 = reg.findFamily("t5");
+    VariantId t5_11b = reg.mostAccurate(t5);
+    EXPECT_EQ(cost.maxMemoryBatch(w.types.v100, t5_11b), 0);
+    EXPECT_EQ(cost.maxMemoryBatch(w.types.gtx1080ti, t5_11b), 0);
+}
+
+TEST(CostModelTest, LoadTimeGrowsWithWeights)
+{
+    World w = miniWorld();
+    FamilyId f = w.registry.findFamily("resnet");
+    EXPECT_LT(w.cost->loadTime(w.types.v100, w.registry.leastAccurate(f)),
+              w.cost->loadTime(w.types.v100, w.registry.mostAccurate(f)));
+    EXPECT_GT(w.cost->loadTime(w.types.v100, w.registry.leastAccurate(f)),
+              0);
+}
+
+TEST(CostModelTest, LatencyDurationMatchesMs)
+{
+    World w = miniWorld();
+    VariantId v = 0;
+    double ms = w.cost->latencyMs(w.types.cpu, v, 4);
+    EXPECT_EQ(w.cost->latency(w.types.cpu, v, 4), millis(ms));
+}
+
+}  // namespace
+}  // namespace proteus

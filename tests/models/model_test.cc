@@ -1,0 +1,117 @@
+#include "models/model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace proteus {
+namespace {
+
+TEST(ModelZooTest, PaperZooHasNineFamilies)
+{
+    auto zoo = paperModelZoo();
+    ASSERT_EQ(zoo.size(), 9u);
+    std::set<std::string> names;
+    for (const auto& f : zoo)
+        names.insert(f.name);
+    for (const char* expected :
+         {"resnet", "densenet", "resnest", "efficientnet", "mobilenet",
+          "yolov5", "bert", "t5", "gpt2"}) {
+        EXPECT_TRUE(names.count(expected)) << expected;
+    }
+}
+
+TEST(ModelZooTest, VariantCountsMatchTable3)
+{
+    ModelRegistry reg = paperRegistry();
+    EXPECT_EQ(reg.variantsOf(reg.findFamily("resnet")).size(), 5u);
+    EXPECT_EQ(reg.variantsOf(reg.findFamily("densenet")).size(), 4u);
+    EXPECT_EQ(reg.variantsOf(reg.findFamily("resnest")).size(), 4u);
+    EXPECT_EQ(reg.variantsOf(reg.findFamily("efficientnet")).size(), 8u);
+    EXPECT_EQ(reg.variantsOf(reg.findFamily("mobilenet")).size(), 4u);
+    EXPECT_EQ(reg.variantsOf(reg.findFamily("yolov5")).size(), 5u);
+    EXPECT_EQ(reg.variantsOf(reg.findFamily("bert")).size(), 12u);
+    EXPECT_EQ(reg.variantsOf(reg.findFamily("t5")).size(), 5u);
+    EXPECT_EQ(reg.variantsOf(reg.findFamily("gpt2")).size(), 4u);
+}
+
+TEST(ModelZooTest, AccuracyNormalizedWithinFamilies)
+{
+    ModelRegistry reg = paperRegistry();
+    for (FamilyId f = 0; f < reg.numFamilies(); ++f) {
+        double best = 0.0;
+        for (VariantId v : reg.variantsOf(f)) {
+            double acc = reg.variant(v).accuracy;
+            // Paper: normalized accuracy spans roughly 80..100.
+            EXPECT_GE(acc, 80.0) << reg.variant(v).name;
+            EXPECT_LE(acc, 100.0) << reg.variant(v).name;
+            best = std::max(best, acc);
+        }
+        EXPECT_DOUBLE_EQ(best, 100.0) << reg.family(f).name;
+    }
+}
+
+TEST(ModelRegistryTest, VariantsSortedByAccuracy)
+{
+    ModelRegistry reg = paperRegistry();
+    for (FamilyId f = 0; f < reg.numFamilies(); ++f) {
+        const auto& vs = reg.variantsOf(f);
+        for (std::size_t i = 1; i < vs.size(); ++i) {
+            EXPECT_LE(reg.variant(vs[i - 1]).accuracy,
+                      reg.variant(vs[i]).accuracy);
+        }
+        EXPECT_EQ(reg.leastAccurate(f), vs.front());
+        EXPECT_EQ(reg.mostAccurate(f), vs.back());
+    }
+}
+
+TEST(ModelRegistryTest, FamilyOfRoundTrips)
+{
+    ModelRegistry reg = paperRegistry();
+    for (FamilyId f = 0; f < reg.numFamilies(); ++f) {
+        for (VariantId v : reg.variantsOf(f))
+            EXPECT_EQ(reg.familyOf(v), f);
+    }
+}
+
+TEST(ModelRegistryTest, GlobalVariantIdsAreDense)
+{
+    ModelRegistry reg = paperRegistry();
+    std::set<VariantId> seen;
+    for (FamilyId f = 0; f < reg.numFamilies(); ++f) {
+        for (VariantId v : reg.variantsOf(f))
+            seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), reg.numVariants());
+    EXPECT_EQ(*seen.rbegin(), reg.numVariants() - 1);
+}
+
+TEST(ModelRegistryTest, FindFamilyByName)
+{
+    ModelRegistry reg = paperRegistry();
+    FamilyId f = reg.findFamily("bert");
+    EXPECT_EQ(reg.family(f).name, "bert");
+    EXPECT_EQ(reg.family(f).task, "sentiment-analysis");
+}
+
+TEST(ModelZooTest, MiniZooIsSubset)
+{
+    auto mini = miniModelZoo();
+    EXPECT_EQ(mini.size(), 3u);
+    EXPECT_EQ(mini[0].name, "resnet");
+}
+
+TEST(ModelZooTest, LargerVariantsCostMore)
+{
+    ModelRegistry reg = paperRegistry();
+    // Within each family, higher accuracy should not come for free:
+    // the most accurate variant must cost more FLOPs than the least.
+    for (FamilyId f = 0; f < reg.numFamilies(); ++f) {
+        EXPECT_GT(reg.variant(reg.mostAccurate(f)).gflops,
+                  reg.variant(reg.leastAccurate(f)).gflops)
+            << reg.family(f).name;
+    }
+}
+
+}  // namespace
+}  // namespace proteus

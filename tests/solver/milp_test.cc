@@ -1,0 +1,157 @@
+#include "solver/milp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/lp.h"
+
+namespace proteus {
+namespace {
+
+TEST(MilpTest, PureLpPassesThrough)
+{
+    LinearProgram lp;
+    int x = lp.addVariable(0.0, 4.5, 2.0, "x");
+    (void)x;
+    Solution sol = MilpSolver().solve(lp);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 9.0, 1e-8);
+}
+
+TEST(MilpTest, KnapsackSmall)
+{
+    // max 10a + 6b + 4c s.t. a + b + c <= 2 (binary): pick a and b.
+    LinearProgram lp;
+    int a = lp.addIntVariable(0.0, 1.0, 10.0, "a");
+    int b = lp.addIntVariable(0.0, 1.0, 6.0, "b");
+    int c = lp.addIntVariable(0.0, 1.0, 4.0, "c");
+    lp.addConstraint({{a, 1.0}, {b, 1.0}, {c, 1.0}},
+                     RowSense::LessEqual, 2.0);
+    Solution sol = MilpSolver().solve(lp);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 16.0, 1e-6);
+    EXPECT_NEAR(sol.x[a], 1.0, 1e-6);
+    EXPECT_NEAR(sol.x[b], 1.0, 1e-6);
+    EXPECT_NEAR(sol.x[c], 0.0, 1e-6);
+}
+
+TEST(MilpTest, IntegralityMatters)
+{
+    // max x + y s.t. 2x + 2y <= 3, x,y binary.
+    // LP relaxation gives 1.5; integral optimum is 1.
+    LinearProgram lp;
+    int x = lp.addIntVariable(0.0, 1.0, 1.0, "x");
+    int y = lp.addIntVariable(0.0, 1.0, 1.0, "y");
+    lp.addConstraint({{x, 2.0}, {y, 2.0}}, RowSense::LessEqual, 3.0);
+    Solution sol = MilpSolver().solve(lp);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 1.0, 1e-6);
+}
+
+TEST(MilpTest, MixedIntegerContinuous)
+{
+    // max 5n + w s.t. w <= 2.5 n, n <= 3 integer, w <= 4 continuous.
+    // n=3 -> w=min(7.5, 4)=4, obj 19.
+    LinearProgram lp;
+    int n = lp.addIntVariable(0.0, 3.0, 5.0, "n");
+    int w = lp.addVariable(0.0, 4.0, 1.0, "w");
+    lp.addConstraint({{w, 1.0}, {n, -2.5}}, RowSense::LessEqual, 0.0);
+    Solution sol = MilpSolver().solve(lp);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 19.0, 1e-6);
+    EXPECT_NEAR(sol.x[n], 3.0, 1e-6);
+    EXPECT_NEAR(sol.x[w], 4.0, 1e-6);
+}
+
+TEST(MilpTest, InfeasibleIntegerProblem)
+{
+    // 0.4 <= x <= 0.6 with x integer: no integer point.
+    LinearProgram lp;
+    int x = lp.addIntVariable(0.0, 1.0, 1.0, "x");
+    lp.addConstraint({{x, 1.0}}, RowSense::GreaterEqual, 0.4);
+    lp.addConstraint({{x, 1.0}}, RowSense::LessEqual, 0.6);
+    Solution sol = MilpSolver().solve(lp);
+    EXPECT_EQ(sol.status, SolveStatus::Infeasible);
+}
+
+TEST(MilpTest, MinimizationWithIntegers)
+{
+    // min 3n + 2m s.t. n + m >= 3.5, integers: candidates (0,4)=8,
+    // (1,3)=9, (2,2)=10, (3,1)=11, (4,0)=12 -> best 8.
+    LinearProgram lp(ObjSense::Minimize);
+    int n = lp.addIntVariable(0.0, 10.0, 3.0, "n");
+    int m = lp.addIntVariable(0.0, 10.0, 2.0, "m");
+    lp.addConstraint({{n, 1.0}, {m, 1.0}}, RowSense::GreaterEqual, 3.5);
+    Solution sol = MilpSolver().solve(lp);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 8.0, 1e-6);
+    EXPECT_NEAR(sol.x[n], 0.0, 1e-6);
+    EXPECT_NEAR(sol.x[m], 4.0, 1e-6);
+}
+
+TEST(MilpTest, EqualityWithIntegers)
+{
+    // max 7a + 5b + 3c s.t. a + b + c = 2 (binary) -> a=b=1.
+    LinearProgram lp;
+    int a = lp.addIntVariable(0.0, 1.0, 7.0, "a");
+    int b = lp.addIntVariable(0.0, 1.0, 5.0, "b");
+    int c = lp.addIntVariable(0.0, 1.0, 3.0, "c");
+    lp.addConstraint({{a, 1.0}, {b, 1.0}, {c, 1.0}}, RowSense::Equal, 2.0);
+    Solution sol = MilpSolver().solve(lp);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 12.0, 1e-6);
+}
+
+TEST(MilpTest, AllocationShapedMilp)
+{
+    // The integral version of the LP in SimplexTest: n_b=2, n_a=1.
+    LinearProgram lp;
+    int na = lp.addIntVariable(0.0, 3.0, 0.0, "n_a");
+    int nb = lp.addIntVariable(0.0, 3.0, 0.0, "n_b");
+    int wa = lp.addVariable(0.0, kInf, 90.0, "w_a");
+    int wb = lp.addVariable(0.0, kInf, 100.0, "w_b");
+    lp.addConstraint({{wa, 1.0}, {na, -50.0}}, RowSense::LessEqual, 0.0);
+    lp.addConstraint({{wb, 1.0}, {nb, -20.0}}, RowSense::LessEqual, 0.0);
+    lp.addConstraint({{na, 1.0}, {nb, 1.0}}, RowSense::LessEqual, 3.0);
+    lp.addConstraint({{wa, 1.0}, {wb, 1.0}}, RowSense::Equal, 70.0);
+    Solution sol = MilpSolver().solve(lp);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 6700.0, 1e-5);
+    EXPECT_NEAR(sol.x[na], 1.0, 1e-6);
+    EXPECT_NEAR(sol.x[nb], 2.0, 1e-6);
+}
+
+TEST(MilpTest, BoundReportedForOptimal)
+{
+    LinearProgram lp;
+    int a = lp.addIntVariable(0.0, 1.0, 3.0, "a");
+    lp.addConstraint({{a, 1.0}}, RowSense::LessEqual, 1.0);
+    Solution sol = MilpSolver().solve(lp);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.bound, sol.objective, 1e-6);
+}
+
+TEST(MilpTest, NodeLimitReturnsFeasibleOrLimit)
+{
+    MilpSolver::Options opts;
+    opts.max_nodes = 1;
+    LinearProgram lp;
+    int x = lp.addIntVariable(0.0, 10.0, 1.0, "x");
+    int y = lp.addIntVariable(0.0, 10.0, 1.0, "y");
+    lp.addConstraint({{x, 3.0}, {y, 7.0}}, RowSense::LessEqual, 20.5);
+    Solution sol = MilpSolver(opts).solve(lp);
+    // With one node we may or may not find an incumbent via the
+    // rounding heuristic, but we must not claim optimality wrongly
+    // unless the gap closed.
+    if (sol.status == SolveStatus::Optimal || sol.hasSolution()) {
+        EXPECT_TRUE(lp.isFeasible(sol.x, 1e-6));
+        for (int j : lp.integerVariables())
+            EXPECT_NEAR(sol.x[j], std::round(sol.x[j]), 1e-6);
+    } else {
+        EXPECT_EQ(sol.status, SolveStatus::IterLimit);
+    }
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Property-based tests for the LP/MILP solvers: random instances are
+ * cross-checked against brute-force enumeration (MILP) and against
+ * feasibility/optimality certificates (LP).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/lp.h"
+#include "solver/milp.h"
+#include "solver/simplex.h"
+
+namespace proteus {
+namespace {
+
+/** Random small LP with <= rows and box-bounded variables. */
+LinearProgram
+randomBoxLp(Rng& rng, int nvars, int nrows)
+{
+    LinearProgram lp;
+    for (int j = 0; j < nvars; ++j)
+        lp.addVariable(0.0, rng.uniform(1.0, 10.0),
+                       rng.uniform(-5.0, 5.0));
+    for (int i = 0; i < nrows; ++i) {
+        std::vector<Coeff> coeffs;
+        for (int j = 0; j < nvars; ++j) {
+            if (rng.uniform() < 0.7)
+                coeffs.emplace_back(j, rng.uniform(-3.0, 3.0));
+        }
+        if (coeffs.empty())
+            coeffs.emplace_back(0, 1.0);
+        // rhs chosen so the origin-ish corner stays feasible often.
+        lp.addConstraint(std::move(coeffs), RowSense::LessEqual,
+                         rng.uniform(0.0, 20.0));
+    }
+    return lp;
+}
+
+class RandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpTest, SolutionIsFeasibleAndVertexLike)
+{
+    Rng rng(1000 + GetParam());
+    LinearProgram lp = randomBoxLp(rng, 6, 5);
+    Solution sol = SimplexSolver().solve(lp);
+    // Box bounds ensure boundedness; the origin corner (all lower
+    // bounds) satisfies every row with rhs >= 0, so feasible too.
+    ASSERT_EQ(sol.status, SolveStatus::Optimal) << "seed " << GetParam();
+    EXPECT_TRUE(lp.isFeasible(sol.x, 1e-6)) << "seed " << GetParam();
+}
+
+TEST_P(RandomLpTest, NoFeasiblePointBeatsReportedOptimum)
+{
+    // Sample many random feasible-ish points; none may exceed the
+    // simplex optimum (a cheap probabilistic optimality certificate).
+    Rng rng(2000 + GetParam());
+    LinearProgram lp = randomBoxLp(rng, 5, 4);
+    Solution sol = SimplexSolver().solve(lp);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    for (int k = 0; k < 500; ++k) {
+        std::vector<double> x(5);
+        for (int j = 0; j < 5; ++j)
+            x[j] = rng.uniform(lp.variable(j).lo, lp.variable(j).hi);
+        if (lp.isFeasible(x, 1e-9)) {
+            EXPECT_LE(lp.objectiveValue(x), sol.objective + 1e-6)
+                << "seed " << GetParam();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpTest, ::testing::Range(0, 25));
+
+/** Brute-force optimum of a pure-binary MILP by enumeration. */
+double
+bruteForceBinary(const LinearProgram& lp, bool* feasible)
+{
+    int n = lp.numVariables();
+    double best = -kInf;
+    *feasible = false;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+        std::vector<double> x(n);
+        for (int j = 0; j < n; ++j)
+            x[j] = (mask >> j) & 1 ? 1.0 : 0.0;
+        if (!lp.isFeasible(x, 1e-9))
+            continue;
+        *feasible = true;
+        best = std::max(best, lp.objectiveValue(x));
+    }
+    return best;
+}
+
+class RandomMilpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMilpTest, MatchesBruteForceOnBinaries)
+{
+    Rng rng(3000 + GetParam());
+    const int n = 8;
+    LinearProgram lp;
+    for (int j = 0; j < n; ++j)
+        lp.addIntVariable(0.0, 1.0, rng.uniform(-4.0, 8.0));
+    for (int i = 0; i < 4; ++i) {
+        std::vector<Coeff> coeffs;
+        for (int j = 0; j < n; ++j) {
+            if (rng.uniform() < 0.6)
+                coeffs.emplace_back(j, rng.uniform(-2.0, 4.0));
+        }
+        if (coeffs.empty())
+            coeffs.emplace_back(0, 1.0);
+        lp.addConstraint(std::move(coeffs), RowSense::LessEqual,
+                         rng.uniform(1.0, 8.0));
+    }
+    bool feasible = false;
+    double brute = bruteForceBinary(lp, &feasible);
+    Solution sol = MilpSolver().solve(lp);
+    ASSERT_TRUE(feasible);  // all-zero is feasible given rhs >= 1
+    ASSERT_EQ(sol.status, SolveStatus::Optimal) << "seed " << GetParam();
+    EXPECT_NEAR(sol.objective, brute, 1e-5) << "seed " << GetParam();
+    EXPECT_TRUE(lp.isFeasible(sol.x, 1e-6));
+    for (int j : lp.integerVariables())
+        EXPECT_NEAR(sol.x[j], std::round(sol.x[j]), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMilpTest, ::testing::Range(0, 20));
+
+class RandomMixedMilpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMixedMilpTest, IntegerSolutionNeverBeatsRelaxation)
+{
+    Rng rng(4000 + GetParam());
+    LinearProgram lp = randomBoxLp(rng, 6, 5);
+    // Make half of the variables integer.
+    LinearProgram milp;
+    for (int j = 0; j < lp.numVariables(); ++j) {
+        const auto& v = lp.variable(j);
+        if (j % 2 == 0)
+            milp.addIntVariable(v.lo, std::floor(v.hi), v.obj);
+        else
+            milp.addVariable(v.lo, v.hi, v.obj);
+    }
+    for (int i = 0; i < lp.numConstraints(); ++i) {
+        const auto& row = lp.row(i);
+        milp.addConstraint(row.coeffs, row.sense, row.rhs);
+    }
+    Solution relax = SimplexSolver().solve(milp);
+    Solution integral = MilpSolver().solve(milp);
+    ASSERT_EQ(relax.status, SolveStatus::Optimal);
+    ASSERT_EQ(integral.status, SolveStatus::Optimal)
+        << "seed " << GetParam();
+    EXPECT_LE(integral.objective, relax.objective + 1e-6);
+    EXPECT_TRUE(milp.isFeasible(integral.x, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMixedMilpTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace proteus

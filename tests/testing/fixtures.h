@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared test fixtures: small clusters, registries and profile stores
+ * used across the module tests.
+ */
+
+#ifndef PROTEUS_TESTS_TESTING_FIXTURES_H_
+#define PROTEUS_TESTS_TESTING_FIXTURES_H_
+
+#include <memory>
+
+#include "cluster/device.h"
+#include "models/cost_model.h"
+#include "models/model.h"
+#include "models/profiler.h"
+
+namespace proteus {
+namespace testing {
+
+/** A tiny world: cluster + registry + cost model + profiles. */
+struct World {
+    Cluster cluster;
+    StandardTypes types;
+    ModelRegistry registry;
+    std::unique_ptr<CostModel> cost;
+    std::unique_ptr<ProfileStore> profiles;
+};
+
+/** Build a world with the mini zoo on a small mixed cluster. */
+inline World
+miniWorld(int cpus = 4, int gtx = 2, int v100 = 2,
+          ProfilerOptions options = {})
+{
+    World w;
+    w.types = addStandardTypes(&w.cluster);
+    w.cluster.addDevices(w.types.cpu, cpus);
+    w.cluster.addDevices(w.types.gtx1080ti, gtx);
+    w.cluster.addDevices(w.types.v100, v100);
+    for (const auto& fam : miniModelZoo())
+        w.registry.registerFamily(fam);
+    w.cost = std::make_unique<CostModel>(w.cluster, w.registry);
+    w.profiles = std::make_unique<ProfileStore>(
+        profileModels(w.registry, w.cluster, *w.cost, options));
+    return w;
+}
+
+/** Build a world with the full Table 3 zoo on the paper cluster. */
+inline World
+paperWorld(ProfilerOptions options = {})
+{
+    World w;
+    w.cluster = paperCluster(&w.types);
+    w.registry = paperRegistry();
+    w.cost = std::make_unique<CostModel>(w.cluster, w.registry);
+    w.profiles = std::make_unique<ProfileStore>(
+        profileModels(w.registry, w.cluster, *w.cost, options));
+    return w;
+}
+
+}  // namespace testing
+}  // namespace proteus
+
+#endif  // PROTEUS_TESTS_TESTING_FIXTURES_H_

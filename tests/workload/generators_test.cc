@@ -1,0 +1,132 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace proteus {
+namespace {
+
+TEST(GeneratorsTest, SteadyTraceHitsTargetRate)
+{
+    for (auto p : {ArrivalProcess::Uniform, ArrivalProcess::Poisson,
+                   ArrivalProcess::Gamma}) {
+        Trace t = steadyTrace(3, 200.0, seconds(60.0), p, 7);
+        EXPECT_NEAR(t.averageQps(), 200.0, 12.0) << toString(p);
+    }
+}
+
+TEST(GeneratorsTest, UniformArrivalsAreEvenlySpaced)
+{
+    Trace t = steadySingleFamilyTrace(0, 100.0, seconds(5.0),
+                                      ArrivalProcess::Uniform);
+    const auto& e = t.events();
+    for (std::size_t i = 1; i < e.size(); ++i)
+        EXPECT_NEAR(toSeconds(e[i].at - e[i - 1].at), 0.01, 2e-6);
+}
+
+TEST(GeneratorsTest, GammaIsBurstierThanPoisson)
+{
+    auto cv2 = [](const Trace& t) {
+        OnlineStats s;
+        const auto& e = t.events();
+        for (std::size_t i = 1; i < e.size(); ++i)
+            s.add(toSeconds(e[i].at - e[i - 1].at));
+        double mean = s.mean();
+        return s.variance() / (mean * mean);
+    };
+    Trace poisson = steadySingleFamilyTrace(
+        0, 100.0, seconds(120.0), ArrivalProcess::Poisson, 11);
+    Trace gamma = steadySingleFamilyTrace(
+        0, 100.0, seconds(120.0), ArrivalProcess::Gamma, 11);
+    // Squared coefficient of variation: ~1 for Poisson, ~1/shape = 20
+    // for Gamma(0.05).
+    EXPECT_NEAR(cv2(poisson), 1.0, 0.3);
+    EXPECT_GT(cv2(gamma), 5.0);
+}
+
+TEST(GeneratorsTest, ZipfSplitFavorsFirstFamilies)
+{
+    Trace t = steadyTrace(9, 500.0, seconds(60.0),
+                          ArrivalProcess::Poisson, 13);
+    auto d = t.demand(9, 0, t.endTime());
+    for (std::size_t f = 1; f < 9; ++f)
+        EXPECT_GT(d[f - 1], d[f] * 0.8) << f;
+    EXPECT_GT(d[0], d[8]);
+}
+
+TEST(GeneratorsTest, DiurnalTraceHasPeaksAboveBase)
+{
+    DiurnalTraceConfig cfg;
+    cfg.duration = seconds(240.0);
+    cfg.base_qps = 100.0;
+    cfg.diurnal_amplitude_qps = 300.0;
+    cfg.cycles = 1.0;
+    Trace t = diurnalTrace(4, cfg);
+    // Peak at mid-trace, trough at the edges.
+    auto start = t.demand(4, 0, seconds(20.0));
+    auto mid = t.demand(4, seconds(110.0), seconds(130.0));
+    double start_total = start[0] + start[1] + start[2] + start[3];
+    double mid_total = mid[0] + mid[1] + mid[2] + mid[3];
+    EXPECT_GT(mid_total, start_total * 2.0);
+}
+
+TEST(GeneratorsTest, BurstTraceAlternatesPhases)
+{
+    BurstTraceConfig cfg;
+    cfg.duration = seconds(120.0);
+    cfg.low_qps = 50.0;
+    cfg.high_qps = 500.0;
+    cfg.phase = seconds(30.0);
+    Trace t = burstTrace(2, cfg);
+    auto low = t.demand(2, seconds(5.0), seconds(25.0));
+    auto high = t.demand(2, seconds(35.0), seconds(55.0));
+    EXPECT_NEAR(low[0] + low[1], 50.0, 15.0);
+    EXPECT_NEAR(high[0] + high[1], 500.0, 50.0);
+}
+
+TEST(GeneratorsTest, SameSeedSameTrace)
+{
+    DiurnalTraceConfig cfg;
+    cfg.duration = seconds(30.0);
+    Trace a = diurnalTrace(3, cfg);
+    Trace b = diurnalTrace(3, cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+        EXPECT_EQ(a.events()[i].family, b.events()[i].family);
+    }
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer)
+{
+    DiurnalTraceConfig a_cfg;
+    a_cfg.duration = seconds(30.0);
+    a_cfg.seed = 1;
+    DiurnalTraceConfig b_cfg = a_cfg;
+    b_cfg.seed = 2;
+    Trace a = diurnalTrace(3, a_cfg);
+    Trace b = diurnalTrace(3, b_cfg);
+    EXPECT_NE(a.size(), b.size());
+}
+
+TEST(GeneratorsTest, TracesAreTimeSorted)
+{
+    Trace t = steadyTrace(5, 300.0, seconds(30.0),
+                          ArrivalProcess::Gamma, 17);
+    const auto& e = t.events();
+    for (std::size_t i = 1; i < e.size(); ++i)
+        EXPECT_LE(e[i - 1].at, e[i].at);
+}
+
+TEST(GeneratorsTest, FamiliesWithinRange)
+{
+    Trace t = diurnalTrace(4, DiurnalTraceConfig{seconds(30.0)});
+    for (const auto& e : t.events())
+        EXPECT_LT(e.family, 4u);
+}
+
+}  // namespace
+}  // namespace proteus

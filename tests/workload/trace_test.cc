@@ -1,0 +1,86 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace proteus {
+namespace {
+
+TEST(TraceTest, EmptyTrace)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.endTime(), 0);
+    EXPECT_DOUBLE_EQ(t.averageQps(), 0.0);
+}
+
+TEST(TraceTest, ConstructorSortsEvents)
+{
+    Trace t({{seconds(3.0), 0}, {seconds(1.0), 1}, {seconds(2.0), 0}});
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.events()[0].at, seconds(1.0));
+    EXPECT_EQ(t.events()[0].family, 1u);
+    EXPECT_EQ(t.endTime(), seconds(3.0));
+}
+
+TEST(TraceTest, AppendAndSort)
+{
+    Trace t;
+    t.append(seconds(5.0), 0);
+    t.append(seconds(1.0), 1);
+    t.sort();
+    EXPECT_EQ(t.events().front().family, 1u);
+}
+
+TEST(TraceTest, DemandWindowCountsPerFamily)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        t.append(seconds(0.1 * i), 0);
+    for (int i = 0; i < 5; ++i)
+        t.append(seconds(0.2 * i), 1);
+    t.sort();
+    auto d = t.demand(2, 0, seconds(1.0));
+    EXPECT_DOUBLE_EQ(d[0], 10.0);
+    EXPECT_DOUBLE_EQ(d[1], 5.0);
+}
+
+TEST(TraceTest, DemandWindowExcludesOutside)
+{
+    Trace t({{seconds(0.5), 0}, {seconds(1.5), 0}, {seconds(2.5), 0}});
+    auto d = t.demand(1, seconds(1.0), seconds(2.0));
+    EXPECT_DOUBLE_EQ(d[0], 1.0);
+}
+
+TEST(TraceTest, AverageQps)
+{
+    Trace t;
+    for (int i = 1; i <= 100; ++i)
+        t.append(micros(i * 100000), 0);  // 10 QPS for 10 s
+    t.sort();
+    EXPECT_NEAR(t.averageQps(), 10.0, 0.1);
+}
+
+TEST(TraceTest, CsvRoundtripFormat)
+{
+    Trace t({{123, 2}});
+    std::ostringstream oss;
+    t.writeCsv(oss);
+    EXPECT_EQ(oss.str(), "time_us,family\n123,2\n");
+}
+
+TEST(TraceTest, StableSortPreservesEqualTimes)
+{
+    Trace t;
+    t.append(seconds(1.0), 0);
+    t.append(seconds(1.0), 1);
+    t.append(seconds(1.0), 2);
+    t.sort();
+    EXPECT_EQ(t.events()[0].family, 0u);
+    EXPECT_EQ(t.events()[1].family, 1u);
+    EXPECT_EQ(t.events()[2].family, 2u);
+}
+
+}  // namespace
+}  // namespace proteus
