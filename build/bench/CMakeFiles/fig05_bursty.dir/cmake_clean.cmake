@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bursty.dir/fig05_bursty.cc.o"
+  "CMakeFiles/fig05_bursty.dir/fig05_bursty.cc.o.d"
+  "fig05_bursty"
+  "fig05_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_batching.dir/fig06_batching.cc.o"
+  "CMakeFiles/fig06_batching.dir/fig06_batching.cc.o.d"
+  "fig06_batching"
+  "fig06_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

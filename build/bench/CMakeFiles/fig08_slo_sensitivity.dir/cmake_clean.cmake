@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_slo_sensitivity.dir/fig08_slo_sensitivity.cc.o"
+  "CMakeFiles/fig08_slo_sensitivity.dir/fig08_slo_sensitivity.cc.o.d"
+  "fig08_slo_sensitivity"
+  "fig08_slo_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_slo_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_family_breakdown.dir/fig09_family_breakdown.cc.o"
+  "CMakeFiles/fig09_family_breakdown.dir/fig09_family_breakdown.cc.o.d"
+  "fig09_family_breakdown"
+  "fig09_family_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_family_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_decision.dir/overhead_decision.cc.o"
+  "CMakeFiles/overhead_decision.dir/overhead_decision.cc.o.d"
+  "overhead_decision"
+  "overhead_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

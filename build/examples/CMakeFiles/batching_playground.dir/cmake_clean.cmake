@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batching_playground.dir/batching_playground.cpp.o"
+  "CMakeFiles/batching_playground.dir/batching_playground.cpp.o.d"
+  "batching_playground"
+  "batching_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batching_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

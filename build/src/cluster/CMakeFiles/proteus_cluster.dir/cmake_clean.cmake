@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_cluster.dir/device.cc.o"
+  "CMakeFiles/proteus_cluster.dir/device.cc.o.d"
+  "libproteus_cluster.a"
+  "libproteus_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for proteus_cluster.
+# This may be replaced when dependencies are built.

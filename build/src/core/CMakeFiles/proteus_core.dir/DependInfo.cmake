@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aimd_batching.cc" "src/core/CMakeFiles/proteus_core.dir/__/baselines/aimd_batching.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/__/baselines/aimd_batching.cc.o.d"
+  "/root/repo/src/baselines/clipper.cc" "src/core/CMakeFiles/proteus_core.dir/__/baselines/clipper.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/__/baselines/clipper.cc.o.d"
+  "/root/repo/src/baselines/infaas.cc" "src/core/CMakeFiles/proteus_core.dir/__/baselines/infaas.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/__/baselines/infaas.cc.o.d"
+  "/root/repo/src/baselines/nexus_batching.cc" "src/core/CMakeFiles/proteus_core.dir/__/baselines/nexus_batching.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/__/baselines/nexus_batching.cc.o.d"
+  "/root/repo/src/baselines/sommelier.cc" "src/core/CMakeFiles/proteus_core.dir/__/baselines/sommelier.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/__/baselines/sommelier.cc.o.d"
+  "/root/repo/src/core/batching.cc" "src/core/CMakeFiles/proteus_core.dir/batching.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/batching.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/proteus_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/proteus_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/ilp_allocator.cc" "src/core/CMakeFiles/proteus_core.dir/ilp_allocator.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/ilp_allocator.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/proteus_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/query.cc.o.d"
+  "/root/repo/src/core/router.cc" "src/core/CMakeFiles/proteus_core.dir/router.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/router.cc.o.d"
+  "/root/repo/src/core/serving_system.cc" "src/core/CMakeFiles/proteus_core.dir/serving_system.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/serving_system.cc.o.d"
+  "/root/repo/src/core/worker.cc" "src/core/CMakeFiles/proteus_core.dir/worker.cc.o" "gcc" "src/core/CMakeFiles/proteus_core.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/proteus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/proteus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/proteus_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/proteus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/proteus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/proteus_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_core.dir/__/baselines/aimd_batching.cc.o"
+  "CMakeFiles/proteus_core.dir/__/baselines/aimd_batching.cc.o.d"
+  "CMakeFiles/proteus_core.dir/__/baselines/clipper.cc.o"
+  "CMakeFiles/proteus_core.dir/__/baselines/clipper.cc.o.d"
+  "CMakeFiles/proteus_core.dir/__/baselines/infaas.cc.o"
+  "CMakeFiles/proteus_core.dir/__/baselines/infaas.cc.o.d"
+  "CMakeFiles/proteus_core.dir/__/baselines/nexus_batching.cc.o"
+  "CMakeFiles/proteus_core.dir/__/baselines/nexus_batching.cc.o.d"
+  "CMakeFiles/proteus_core.dir/__/baselines/sommelier.cc.o"
+  "CMakeFiles/proteus_core.dir/__/baselines/sommelier.cc.o.d"
+  "CMakeFiles/proteus_core.dir/batching.cc.o"
+  "CMakeFiles/proteus_core.dir/batching.cc.o.d"
+  "CMakeFiles/proteus_core.dir/controller.cc.o"
+  "CMakeFiles/proteus_core.dir/controller.cc.o.d"
+  "CMakeFiles/proteus_core.dir/experiment.cc.o"
+  "CMakeFiles/proteus_core.dir/experiment.cc.o.d"
+  "CMakeFiles/proteus_core.dir/ilp_allocator.cc.o"
+  "CMakeFiles/proteus_core.dir/ilp_allocator.cc.o.d"
+  "CMakeFiles/proteus_core.dir/query.cc.o"
+  "CMakeFiles/proteus_core.dir/query.cc.o.d"
+  "CMakeFiles/proteus_core.dir/router.cc.o"
+  "CMakeFiles/proteus_core.dir/router.cc.o.d"
+  "CMakeFiles/proteus_core.dir/serving_system.cc.o"
+  "CMakeFiles/proteus_core.dir/serving_system.cc.o.d"
+  "CMakeFiles/proteus_core.dir/worker.cc.o"
+  "CMakeFiles/proteus_core.dir/worker.cc.o.d"
+  "libproteus_core.a"
+  "libproteus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_metrics.dir/collector.cc.o"
+  "CMakeFiles/proteus_metrics.dir/collector.cc.o.d"
+  "libproteus_metrics.a"
+  "libproteus_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

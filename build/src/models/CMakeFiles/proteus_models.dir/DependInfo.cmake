@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/cost_model.cc" "src/models/CMakeFiles/proteus_models.dir/cost_model.cc.o" "gcc" "src/models/CMakeFiles/proteus_models.dir/cost_model.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/models/CMakeFiles/proteus_models.dir/model.cc.o" "gcc" "src/models/CMakeFiles/proteus_models.dir/model.cc.o.d"
+  "/root/repo/src/models/profiler.cc" "src/models/CMakeFiles/proteus_models.dir/profiler.cc.o" "gcc" "src/models/CMakeFiles/proteus_models.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/proteus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/proteus_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_models.dir/cost_model.cc.o"
+  "CMakeFiles/proteus_models.dir/cost_model.cc.o.d"
+  "CMakeFiles/proteus_models.dir/model.cc.o"
+  "CMakeFiles/proteus_models.dir/model.cc.o.d"
+  "CMakeFiles/proteus_models.dir/profiler.cc.o"
+  "CMakeFiles/proteus_models.dir/profiler.cc.o.d"
+  "libproteus_models.a"
+  "libproteus_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_sim.dir/simulator.cc.o"
+  "CMakeFiles/proteus_sim.dir/simulator.cc.o.d"
+  "libproteus_sim.a"
+  "libproteus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

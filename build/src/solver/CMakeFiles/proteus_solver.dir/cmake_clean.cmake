@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_solver.dir/lp.cc.o"
+  "CMakeFiles/proteus_solver.dir/lp.cc.o.d"
+  "CMakeFiles/proteus_solver.dir/milp.cc.o"
+  "CMakeFiles/proteus_solver.dir/milp.cc.o.d"
+  "CMakeFiles/proteus_solver.dir/simplex.cc.o"
+  "CMakeFiles/proteus_solver.dir/simplex.cc.o.d"
+  "libproteus_solver.a"
+  "libproteus_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_workload.dir/generators.cc.o"
+  "CMakeFiles/proteus_workload.dir/generators.cc.o.d"
+  "CMakeFiles/proteus_workload.dir/trace.cc.o"
+  "CMakeFiles/proteus_workload.dir/trace.cc.o.d"
+  "libproteus_workload.a"
+  "libproteus_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/json_test.cc" "tests/CMakeFiles/test_common.dir/common/json_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/json_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/test_common.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/test_common.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/table_test.cc" "tests/CMakeFiles/test_common.dir/common/table_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/proteus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/proteus_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/proteus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/proteus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/proteus_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/proteus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proteus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

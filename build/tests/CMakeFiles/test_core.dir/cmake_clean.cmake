@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/allocator_test.cc.o"
+  "CMakeFiles/test_core.dir/core/allocator_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/batching_test.cc.o"
+  "CMakeFiles/test_core.dir/core/batching_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/controller_test.cc.o"
+  "CMakeFiles/test_core.dir/core/controller_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/experiment_test.cc.o"
+  "CMakeFiles/test_core.dir/core/experiment_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/fairness_test.cc.o"
+  "CMakeFiles/test_core.dir/core/fairness_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/router_test.cc.o"
+  "CMakeFiles/test_core.dir/core/router_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/worker_test.cc.o"
+  "CMakeFiles/test_core.dir/core/worker_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

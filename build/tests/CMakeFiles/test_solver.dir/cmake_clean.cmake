@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver.dir/solver/milp_test.cc.o"
+  "CMakeFiles/test_solver.dir/solver/milp_test.cc.o.d"
+  "CMakeFiles/test_solver.dir/solver/paranoid_test.cc.o"
+  "CMakeFiles/test_solver.dir/solver/paranoid_test.cc.o.d"
+  "CMakeFiles/test_solver.dir/solver/simplex_test.cc.o"
+  "CMakeFiles/test_solver.dir/solver/simplex_test.cc.o.d"
+  "CMakeFiles/test_solver.dir/solver/solver_property_test.cc.o"
+  "CMakeFiles/test_solver.dir/solver/solver_property_test.cc.o.d"
+  "test_solver"
+  "test_solver.pdb"
+  "test_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
