@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Figure 11 (extension): availability under supply shocks. A scripted
+ * crash-recovery trace takes GPUs away mid-run and brings them back;
+ * the failure-aware Proteus controller re-plans onto the survivors
+ * (trading accuracy for availability), while Clipper-HA's static
+ * most-accurate plan keeps routing at dead replicas and bleeds SLO
+ * violations for the whole outage.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "faults/fault_plan.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace proteus;
+
+/**
+ * The crash-recovery script: two staggered GPU outages (one long, one
+ * short, overlapping) plus a transient stall — roughly the shape of a
+ * rolling failure in one rack.
+ */
+FaultPlan
+crashRecoveryPlan(const Cluster& cluster)
+{
+    // Crash the two highest-numbered devices: on the paper cluster
+    // these are GPUs carrying a large share of provisioned capacity.
+    const DeviceId last = static_cast<DeviceId>(cluster.numDevices() - 1);
+    FaultPlan plan;
+
+    FaultEvent long_outage;
+    long_outage.at = seconds(4 * 60.0);
+    long_outage.kind = FaultKind::DeviceCrash;
+    long_outage.device = last;
+    long_outage.downtime = seconds(3 * 60.0);
+    plan.scripted.push_back(long_outage);
+
+    FaultEvent short_outage;
+    short_outage.at = seconds(5 * 60.0);
+    short_outage.kind = FaultKind::DeviceCrash;
+    short_outage.device = static_cast<DeviceId>(last - 1);
+    short_outage.downtime = seconds(60.0);
+    plan.scripted.push_back(short_outage);
+
+    FaultEvent stall;
+    stall.at = seconds(10 * 60.0);
+    stall.kind = FaultKind::WorkerStall;
+    stall.device = static_cast<DeviceId>(last - 2);
+    stall.stall_factor = 4.0;
+    stall.stall_window = seconds(45.0);
+    plan.scripted.push_back(stall);
+
+    return plan;
+}
+
+void
+printFaultWindows(const RunResult& r)
+{
+    if (r.fault_windows.empty()) {
+        std::cout << "(no fault windows recorded)\n";
+        return;
+    }
+    TextTable t;
+    t.setHeader({"device", "start_s", "end_s", "capacity_lost_qps",
+                 "violations_during"});
+    for (const auto& w : r.fault_windows) {
+        t.addRow({std::to_string(w.device),
+                  fmtDouble(toSeconds(w.start), 0),
+                  w.end == kNoTime ? "open"
+                                   : fmtDouble(toSeconds(w.end), 0),
+                  fmtDouble(w.capacity_lost_qps, 1),
+                  std::to_string(w.violations_during)});
+    }
+    t.print(std::cout);
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace proteus;
+    using namespace proteus::bench;
+
+    Cluster cluster = paperCluster();
+    ModelRegistry reg = paperRegistry();
+    const Duration duration = seconds(14 * 60.0);
+    Trace trace = steadyTrace(reg.numFamilies(), 400.0, duration,
+                              ArrivalProcess::Poisson);
+    FaultPlan plan = crashRecoveryPlan(cluster);
+
+    std::cout << "== Fig. 11: crash-recovery trace (" << trace.size()
+              << " queries, " << plan.scripted.size()
+              << " scripted faults) ==\n\n";
+
+    TextTable summary;
+    summary.setHeader({"system", "throughput_qps", "effective_acc",
+                       "slo_violation_ratio", "violations",
+                       "fault_violations", "downtime_s"});
+    for (AllocatorKind kind :
+         {AllocatorKind::ClipperHA, AllocatorKind::ProteusIlp}) {
+        SystemConfig cfg;
+        cfg.allocator = kind;
+        cfg.faults = plan;
+        RunResult r = runSystem(cluster, reg, cfg, trace);
+        summary.addRow({toString(kind),
+                        fmtDouble(r.summary.avg_throughput_qps, 1),
+                        fmtPercent(r.summary.effective_accuracy, 2),
+                        fmtDouble(r.summary.slo_violation_ratio, 4),
+                        std::to_string(r.summary.violations()),
+                        std::to_string(r.summary.fault_violations),
+                        fmtDouble(r.summary.total_downtime_s, 0)});
+        std::cout << "--- " << toString(kind) << " fault windows ---\n";
+        printFaultWindows(r);
+        printTimeseries(std::cout, toString(kind), r);
+        std::cout << "\n";
+    }
+    summary.print(std::cout);
+    std::cout
+        << "\nShape check: during the outages the failure-aware "
+           "Proteus plan keeps the violation ratio near its fault-free "
+           "level by re-placing cheaper variants on the survivors "
+           "(effective accuracy dips instead), while Clipper-HA keeps "
+           "its static placement and attributes most of its SLO "
+           "violations to the fault windows.\n";
+    return 0;
+}

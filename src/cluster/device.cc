@@ -63,6 +63,67 @@ Cluster::devicesOfType(DeviceTypeId t) const
     return out;
 }
 
+const char*
+toString(DeviceHealth health)
+{
+    switch (health) {
+      case DeviceHealth::Up: return "up";
+      case DeviceHealth::Down: return "down";
+      case DeviceHealth::Recovering: return "recovering";
+    }
+    return "unknown";
+}
+
+bool
+DeviceHealthTracker::markDown(DeviceId d)
+{
+    DeviceHealth& s = state_.at(d);
+    if (s == DeviceHealth::Down)
+        return false;
+    s = DeviceHealth::Down;
+    return true;
+}
+
+bool
+DeviceHealthTracker::markRecovering(DeviceId d)
+{
+    DeviceHealth& s = state_.at(d);
+    if (s != DeviceHealth::Down)
+        return false;
+    s = DeviceHealth::Recovering;
+    return true;
+}
+
+bool
+DeviceHealthTracker::markUp(DeviceId d)
+{
+    DeviceHealth& s = state_.at(d);
+    if (s == DeviceHealth::Down)
+        return false;
+    s = DeviceHealth::Up;
+    return true;
+}
+
+std::size_t
+DeviceHealthTracker::downCount() const
+{
+    std::size_t n = 0;
+    for (DeviceHealth s : state_) {
+        if (s == DeviceHealth::Down)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<char>
+DeviceHealthTracker::downMask() const
+{
+    std::vector<char> mask(state_.size(), 0);
+    for (std::size_t d = 0; d < state_.size(); ++d)
+        mask[d] = state_[d] == DeviceHealth::Down ? 1 : 0;
+    return mask;
+}
+
 StandardTypes
 addStandardTypes(Cluster* cluster)
 {

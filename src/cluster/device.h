@@ -86,6 +86,71 @@ class Cluster
 };
 
 /**
+ * Liveness of one device. Transitions form a cycle:
+ *
+ *   Up --crash--> Down --recovery starts--> Recovering --ready--> Up
+ *
+ * Down devices hold no model and execute nothing; the resource
+ * manager must exclude them. Recovering devices are plan-eligible
+ * again (they behave like an idle device that needs a model load) but
+ * are not yet serving.
+ */
+enum class DeviceHealth { Up, Down, Recovering };
+
+/** @return a printable name for @p health. */
+const char* toString(DeviceHealth health);
+
+/**
+ * Dynamic health state of every device in a cluster. The Cluster
+ * itself stays immutable during a run (the hardware does not change);
+ * this tracker carries the mutable liveness the fault-injection
+ * subsystem and the controller consult. Transition methods enforce
+ * the state machine and return false on an illegal transition instead
+ * of asserting, so redundant fault events are harmless no-ops.
+ */
+class DeviceHealthTracker
+{
+  public:
+    explicit DeviceHealthTracker(std::size_t num_devices)
+        : state_(num_devices, DeviceHealth::Up)
+    {}
+
+    /** @return the health of device @p d. */
+    DeviceHealth state(DeviceId d) const { return state_.at(d); }
+
+    /** @return true when device @p d is fully operational. */
+    bool up(DeviceId d) const
+    {
+        return state_.at(d) == DeviceHealth::Up;
+    }
+
+    /** Crash: Up | Recovering -> Down. @return false if already Down. */
+    bool markDown(DeviceId d);
+
+    /** Recovery begins: Down -> Recovering. */
+    bool markRecovering(DeviceId d);
+
+    /** Ready again: Recovering -> Up (Up is an idempotent no-op). */
+    bool markUp(DeviceId d);
+
+    /** @return the number of devices currently Down. */
+    std::size_t downCount() const;
+
+    /** @return the number of tracked devices. */
+    std::size_t size() const { return state_.size(); }
+
+    /**
+     * Unavailability mask for the resource manager: mask[d] != 0 for
+     * Down devices. Recovering devices count as available (hosting a
+     * model there is exactly a fresh load).
+     */
+    std::vector<char> downMask() const;
+
+  private:
+    std::vector<DeviceHealth> state_;
+};
+
+/**
  * Standard device types used throughout the evaluation, calibrated so
  * relative per-variant latencies follow the shape of Fig. 1a
  * (V100 fastest, then GTX 1080 Ti, CPU slowest; GPUs amortize

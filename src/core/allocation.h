@@ -74,6 +74,21 @@ struct AllocationInput {
     const Allocation* current = nullptr;
     /** Simulation time of the decision. */
     Time now = 0;
+    /**
+     * Failure mask from the health tracker: device_down[d] != 0 marks
+     * device d dead — it must not be hosted or routed to. Empty means
+     * every device is available. Failure-aware allocators (the
+     * Proteus MILP) honour it; static baselines (Clipper) ignore it,
+     * which is exactly the availability gap fig11_faults measures.
+     */
+    std::vector<char> device_down;
+
+    /** @return true when device @p d is marked down. */
+    bool
+    isDown(DeviceId d) const
+    {
+        return d < device_down.size() && device_down[d] != 0;
+    }
 };
 
 /** Strategy interface for resource allocation. */

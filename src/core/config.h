@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "faults/fault_plan.h"
 
 namespace proteus {
 
@@ -72,6 +73,13 @@ struct SystemConfig {
     double latency_jitter_frac = 0.0;
     /** Seed for all stochastic pieces of the run. */
     std::uint64_t seed = 1;
+
+    /**
+     * Fault-injection plan (empty = fault-free run). Scripted and
+     * seeded-random supply shocks executed by the FaultInjector; see
+     * DESIGN.md, "Fault model".
+     */
+    FaultPlan faults;
 };
 
 }  // namespace proteus

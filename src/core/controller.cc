@@ -25,6 +25,8 @@ Controller::start(const std::vector<double>& initial_demand)
     input.demand_qps = initial_demand;
     input.current = has_plan_ ? &current_ : nullptr;
     input.now = sim_->now();
+    if (availability_fn_)
+        input.device_down = availability_fn_();
     current_ = allocator_->allocate(input);
     has_plan_ = true;
     ++reallocations_;
@@ -58,6 +60,19 @@ Controller::requestReallocation()
 }
 
 void
+Controller::notifyCapacityChange()
+{
+    if (decision_pending_) {
+        // The pending plan was solved against the old cluster; apply
+        // it (the delay already elapsed conceptually) and follow up
+        // with a failure-aware solve immediately after.
+        resolve_after_apply_ = true;
+        return;
+    }
+    reallocate(false);
+}
+
+void
 Controller::reallocate(bool initial)
 {
     (void)initial;
@@ -69,6 +84,8 @@ Controller::reallocate(bool initial)
     input.demand_qps = demand_fn_();
     input.current = has_plan_ ? &current_ : nullptr;
     input.now = sim_->now();
+    if (availability_fn_)
+        input.device_down = availability_fn_();
 
     // The allocator computes the plan now (using the demand observed
     // now), but the plan takes effect only after the decision delay —
@@ -89,6 +106,12 @@ Controller::reallocate(bool initial)
         has_plan_ = true;
         ++reallocations_;
         apply_fn_(current_);
+        if (resolve_after_apply_) {
+            // Capacity changed while this decision was in flight:
+            // solve again against the surviving hardware.
+            resolve_after_apply_ = false;
+            reallocate(false);
+        }
     });
 }
 

@@ -57,6 +57,26 @@ class Controller
     /** Burst alarm entry point (debounced by min_interval). */
     void requestReallocation();
 
+    /**
+     * Failure alarm entry point: capacity changed (device crash or
+     * recovery), the plan in force references hardware that no longer
+     * matches reality. Unlike burst alarms this is NOT debounced by
+     * min_interval — stale capacity must be replanned immediately.
+     * If a decision is already pending, a fresh solve is queued to run
+     * right after that plan applies (the pending plan was computed
+     * against the old cluster and may be infeasible on the survivors).
+     */
+    void notifyCapacityChange();
+
+    /**
+     * Install a probe returning the device failure mask; sampled at
+     * every decision and forwarded as AllocationInput::device_down.
+     */
+    void setAvailabilityProbe(std::function<std::vector<char>()> probe)
+    {
+        availability_fn_ = std::move(probe);
+    }
+
     /** @return the plan currently in force. */
     const Allocation& current() const { return current_; }
 
@@ -73,8 +93,10 @@ class Controller
     ControllerOptions options_;
 
     Allocation current_;
+    std::function<std::vector<char>()> availability_fn_;
     bool has_plan_ = false;
     bool decision_pending_ = false;
+    bool resolve_after_apply_ = false;
     Time last_start_ = kNoTime;
     int reallocations_ = 0;
 };

@@ -143,6 +143,35 @@ greedyFill(const CountsContext& ctx,
 
 }  // namespace
 
+int
+IlpAllocator::availableOfType(DeviceTypeId t) const
+{
+    if (!down_)
+        return cluster_->countOfType(t);
+    int n = 0;
+    for (const Device& d : cluster_->devices()) {
+        if (d.type == t &&
+            (d.id >= down_->size() || (*down_)[d.id] == 0))
+            ++n;
+    }
+    return n;
+}
+
+std::vector<DeviceId>
+IlpAllocator::availableDevicesOfType(DeviceTypeId t) const
+{
+    std::vector<DeviceId> out = cluster_->devicesOfType(t);
+    if (!down_)
+        return out;
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [this](DeviceId d) {
+                                 return d < down_->size() &&
+                                        (*down_)[d] != 0;
+                             }),
+              out.end());
+    return out;
+}
+
 IlpAllocator::TypeSolution
 IlpAllocator::solveAggregated(const std::vector<double>& demand,
                               const std::vector<std::vector<int>>* cur)
@@ -164,7 +193,7 @@ IlpAllocator::solveAggregated(const std::vector<double>& demand,
         T, std::vector<int>(M, -1));
 
     for (std::size_t t = 0; t < T; ++t) {
-        int nt = cluster_->countOfType(static_cast<DeviceTypeId>(t));
+        int nt = availableOfType(static_cast<DeviceTypeId>(t));
         if (nt == 0)
             continue;
         for (std::size_t m = 0; m < M; ++m) {
@@ -273,7 +302,7 @@ IlpAllocator::solveAggregated(const std::vector<double>& demand,
         }
         if (!coeffs.empty()) {
             lp.addConstraint(std::move(coeffs), RowSense::LessEqual,
-                             cluster_->countOfType(
+                             availableOfType(
                                  static_cast<DeviceTypeId>(t)));
         }
     }
@@ -419,7 +448,7 @@ IlpAllocator::solveAggregated(const std::vector<double>& demand,
                 quota_left = options_.family_quota;
             for (std::size_t t = 0; t < T; ++t) {
                 budget[t] =
-                    cluster_->countOfType(static_cast<DeviceTypeId>(t));
+                    availableOfType(static_cast<DeviceTypeId>(t));
                 std::vector<std::pair<double, std::size_t>> fracs;
                 for (std::size_t m = 0; m < M; ++m) {
                     if (!col_ok(t, m))
@@ -608,7 +637,7 @@ IlpAllocator::expand(const TypeSolution& sol,
 
     for (std::size_t t = 0; t < T; ++t) {
         std::vector<DeviceId> devices =
-            cluster_->devicesOfType(static_cast<DeviceTypeId>(t));
+            availableDevicesOfType(static_cast<DeviceTypeId>(t));
         std::vector<bool> taken(devices.size(), false);
 
         // Wanted replicas per variant on this type.
@@ -697,7 +726,7 @@ IlpAllocator::expand(const TypeSolution& sol,
                 double per_device = sol.qps[t][m] / cnt;
                 int assigned = 0;
                 for (DeviceId d :
-                     cluster_->devicesOfType(static_cast<DeviceTypeId>(t))) {
+                     availableDevicesOfType(static_cast<DeviceTypeId>(t))) {
                     if (plan.hosting[d] == m && assigned < cnt) {
                         shares.push_back(DeviceShare{
                             d, per_device / planned_f * fraction});
@@ -761,6 +790,11 @@ IlpAllocator::allocate(const AllocationInput& input)
     PROTEUS_ASSERT(input.demand_qps.size() == registry_->numFamilies(),
                    "demand vector size mismatch");
 
+    // Failure awareness: dead devices contribute no hosting budget,
+    // are never expanded onto, and their current hosting is not
+    // counted as kept capacity. Valid for this call only.
+    down_ = input.device_down.empty() ? nullptr : &input.device_down;
+
     std::vector<double> demand = input.demand_qps;
     for (auto& d : demand)
         d *= options_.planning_headroom;
@@ -772,6 +806,8 @@ IlpAllocator::allocate(const AllocationInput& input)
         cur_counts.assign(cluster_->numTypes(),
                           std::vector<int>(registry_->numVariants(), 0));
         for (DeviceId d = 0; d < cluster_->numDevices(); ++d) {
+            if (input.isDown(d))
+                continue;  // a dead device's model is not running
             const auto& h = input.current->hosting[d];
             if (h) {
                 ++cur_counts[cluster_->device(d).type][*h];
@@ -853,6 +889,7 @@ IlpAllocator::allocate(const AllocationInput& input)
     Allocation plan = expand(sol, demand, input.demand_qps,
                              input.current);
     plan.planned_demand = input.demand_qps;
+    down_ = nullptr;
     stats_.solve_seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
     stats_.nodes = sol.nodes;

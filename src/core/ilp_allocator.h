@@ -173,6 +173,12 @@ class IlpAllocator : public Allocator
                       const std::vector<double>& original_demand,
                       const Allocation* current) const;
 
+    /** Devices of type @p t not masked out by the failure mask. */
+    int availableOfType(DeviceTypeId t) const;
+
+    /** Ids of available (not down) devices of type @p t. */
+    std::vector<DeviceId> availableDevicesOfType(DeviceTypeId t) const;
+
   protected:
     /** Mutable options access for baseline subclasses (Sommelier). */
     IlpAllocatorOptions& mutableOptions() { return options_; }
@@ -184,6 +190,8 @@ class IlpAllocator : public Allocator
   private:
     IlpAllocatorOptions options_;
     SolveStats stats_;
+    /** Failure mask of the allocate() call in progress (may be null). */
+    const std::vector<char>* down_ = nullptr;
 };
 
 /**

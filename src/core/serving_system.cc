@@ -55,7 +55,8 @@ ServingSystem::ServingSystem(const Cluster* cluster,
                           config.slo_anchor_type,
                           config.max_batch_cap})),
       metrics_(&sim_, registry->numFamilies(),
-               config.snapshot_interval)
+               config.snapshot_interval),
+      health_(cluster->numDevices())
 {
     allocator_ = makeAllocator();
 
@@ -82,6 +83,11 @@ ServingSystem::ServingSystem(const Cluster* cluster,
             &metrics_, requeue, config_.latency_jitter_frac,
             config_.seed);
         worker->setBatchingPolicy(makeBatchingPolicy());
+        worker->setHealthTracker(&health_);
+        worker->setLoadFailureAlarm([this](DeviceId) {
+            // A failed load leaves planned capacity unhosted: replan.
+            controller_->notifyCapacityChange();
+        });
         workers_.push_back(std::move(worker));
     }
 
@@ -97,9 +103,44 @@ ServingSystem::ServingSystem(const Cluster* cluster,
         [this](const Allocation& plan) { applyPlan(plan); },
         ControllerOptions{config_.control_period, seconds(5.0)});
 
+    controller_->setAvailabilityProbe(
+        [this] { return health_.downMask(); });
+
     for (auto& lb : balancers_) {
         lb->setBurstAlarm([this] { controller_->requestReallocation(); },
                           config_.burst_threshold);
+    }
+
+    // Fault injection: the injector owns scheduling and the health
+    // state machine; these hooks apply the consequences to the data
+    // path (workers), the control path (failure alarms) and the
+    // metrics pipeline (fault windows).
+    if (!config_.faults.empty()) {
+        FaultHooks hooks;
+        hooks.on_crash = [this](DeviceId d) {
+            double lost = 0.0;
+            if (auto v = workers_[d]->hostedVariant()) {
+                lost = profiles_.get(*v, workers_[d]->deviceType())
+                           .peak_qps;
+            }
+            metrics_.onDeviceDown(d, lost);
+            workers_[d]->crash();
+            controller_->notifyCapacityChange();
+        };
+        hooks.on_recovery = [this](DeviceId d) {
+            metrics_.onDeviceUp(d);
+            workers_[d]->recover();
+            controller_->notifyCapacityChange();
+        };
+        hooks.on_stall = [this](DeviceId d, double factor,
+                                Duration window) {
+            workers_[d]->setStall(factor, window);
+        };
+        hooks.on_load_fail = [this](DeviceId d) {
+            workers_[d]->failNextLoad();
+        };
+        injector_ = std::make_unique<FaultInjector>(
+            &sim_, &health_, std::move(hooks), config_.faults);
     }
 }
 
@@ -269,7 +310,10 @@ ServingSystem::run(const Trace& trace,
     Duration max_slo = 0;
     for (FamilyId f = 0; f < registry_->numFamilies(); ++f)
         max_slo = std::max(max_slo, profiles_.slo(f));
-    sim_.run(trace.endTime() + 4 * max_slo + seconds(5.0));
+    const Time horizon = trace.endTime() + 4 * max_slo + seconds(5.0);
+    if (injector_)
+        injector_->arm(horizon);
+    sim_.run(horizon);
 
     // Account for anything still stuck in queues at the horizon.
     for (Query& q : arena_) {
@@ -300,6 +344,9 @@ ServingSystem::run(const Trace& trace,
                 : 0.0;
     for (const auto& lb : balancers_)
         result.shed += lb->shed();
+    result.fault_windows = metrics_.faultWindows();
+    if (injector_)
+        result.faults_injected = injector_->injected();
     return result;
 }
 

@@ -30,6 +30,7 @@
 #include "core/ilp_allocator.h"
 #include "core/router.h"
 #include "core/worker.h"
+#include "faults/fault_injector.h"
 #include "metrics/collector.h"
 #include "models/cost_model.h"
 #include "models/model.h"
@@ -51,6 +52,10 @@ struct RunResult {
     double mean_batch_size = 0.0;
     /** Queries shed at the routers (subset of dropped). */
     std::uint64_t shed = 0;
+    /** Per-outage fault windows (empty on fault-free runs). */
+    std::vector<FaultWindow> fault_windows;
+    /** Fault events actually applied by the injector. */
+    int faults_injected = 0;
 };
 
 /** Fully assembled inference-serving system on a simulated cluster. */
@@ -89,6 +94,12 @@ class ServingSystem
     /** @return the plan currently in force. */
     const Allocation& currentPlan() const;
 
+    /** @return the device health tracker (fault inspection). */
+    const DeviceHealthTracker& health() const { return health_; }
+
+    /** @return the fault injector (nullptr on fault-free runs). */
+    const FaultInjector* faultInjector() const { return injector_.get(); }
+
   private:
     void applyPlan(const Allocation& plan);
     std::unique_ptr<BatchingPolicy> makeBatchingPolicy() const;
@@ -108,6 +119,8 @@ class ServingSystem
     std::vector<std::unique_ptr<LoadBalancer>> balancers_;
     std::unique_ptr<Allocator> allocator_;
     std::unique_ptr<Controller> controller_;
+    DeviceHealthTracker health_;
+    std::unique_ptr<FaultInjector> injector_;
 
     std::deque<Query> arena_;
     bool first_apply_ = true;

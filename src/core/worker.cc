@@ -32,8 +32,25 @@ Worker::setBatchingPolicy(std::unique_ptr<BatchingPolicy> policy)
 }
 
 void
+Worker::bounce(Query* query)
+{
+    if (requeue_) {
+        requeue_(query);
+        return;
+    }
+    query->status = QueryStatus::Dropped;
+    query->completion = sim_->now();
+    query->served_by = device_;
+    ++dropped_;
+    if (observer_)
+        observer_->onFinished(*query);
+}
+
+void
 Worker::hostVariant(std::optional<VariantId> variant, bool instant)
 {
+    if (failed_)
+        return;  // dead hardware loads nothing (stale static plans)
     if (variant == target_ && !loading_)
         return;
     if (variant == target_ && loading_)
@@ -47,18 +64,8 @@ Worker::hostVariant(std::optional<VariantId> variant, bool instant)
     // SLOs, while a ready replica may still serve them in time.
     std::deque<Query*> pending = std::move(queue_);
     queue_.clear();
-    for (Query* q : pending) {
-        if (requeue_) {
-            requeue_(q);
-        } else {
-            q->status = QueryStatus::Dropped;
-            q->completion = sim_->now();
-            q->served_by = device_;
-            ++dropped_;
-            if (observer_)
-                observer_->onFinished(*q);
-        }
-    }
+    for (Query* q : pending)
+        bounce(q);
 
     target_ = variant;
     if (!variant) {
@@ -67,42 +74,132 @@ Worker::hostVariant(std::optional<VariantId> variant, bool instant)
     }
     if (instant) {
         loading_ = false;
+        if (health_)
+            health_->markUp(device_);
         evaluate();
         return;
     }
     loading_ = true;
     const Duration load = cost_->loadTime(type_, *variant);
     const std::uint64_t epoch = load_epoch_;
+    if (fail_next_load_) {
+        // Armed load failure: the load runs its full course and then
+        // fails, leaving the device empty, as a corrupt download or
+        // OOM on a real serving node would.
+        fail_next_load_ = false;
+        sim_->scheduleAfter(load, [this, epoch] {
+            if (epoch != load_epoch_)
+                return;
+            loading_ = false;
+            target_.reset();
+            ++failed_loads_;
+            std::deque<Query*> stranded = std::move(queue_);
+            queue_.clear();
+            for (Query* q : stranded)
+                bounce(q);
+            if (load_failure_alarm_)
+                load_failure_alarm_(device_);
+        });
+        return;
+    }
     sim_->scheduleAfter(load, [this, epoch] {
         if (epoch != load_epoch_)
             return;  // superseded by a newer hostVariant()
         loading_ = false;
+        if (health_)
+            health_->markUp(device_);
         evaluate();
     });
+}
+
+void
+Worker::crash()
+{
+    if (failed_)
+        return;
+    failed_ = true;
+    ++crashes_;
+    cancelTimer();
+    ++load_epoch_;  // invalidates any pending load completion
+    loading_ = false;
+    target_.reset();
+    fail_next_load_ = false;
+
+    if (busy_) {
+        // Abort the in-flight batch: it never completed, so unwind
+        // its accounting and hand the queries back for re-routing.
+        sim_->cancel(inflight_event_);
+        inflight_event_ = kNoEvent;
+        busy_ = false;
+        --batches_;
+        batched_queries_ -=
+            static_cast<std::uint64_t>(inflight_.size());
+        for (Query* q : inflight_)
+            bounce(q);
+        inflight_.clear();
+    }
+    std::deque<Query*> pending = std::move(queue_);
+    queue_.clear();
+    for (Query* q : pending)
+        bounce(q);
+}
+
+void
+Worker::recover()
+{
+    failed_ = false;
+}
+
+void
+Worker::setStall(double factor, Duration window)
+{
+    PROTEUS_ASSERT(factor >= 1.0, "stall factor must be >= 1, got ",
+                   factor);
+    const Time now = sim_->now();
+    if (stall_until_ != kNoTime && now < stall_until_) {
+        // Overlapping stalls: keep the worst factor, the later end.
+        stall_factor_ = std::max(stall_factor_, factor);
+        stall_until_ = std::max(stall_until_, now + window);
+    } else {
+        stall_factor_ = factor;
+        stall_until_ = now + window;
+    }
 }
 
 void
 Worker::enqueue(Query* query)
 {
     PROTEUS_ASSERT(query != nullptr, "null query");
-    if (!target_) {
-        // Routed to an empty worker (stale routing during a swap):
-        // bounce it back for re-routing, or drop if impossible.
-        if (requeue_) {
-            requeue_(query);
-        } else {
-            query->status = QueryStatus::Dropped;
-            query->completion = sim_->now();
-            query->served_by = device_;
-            ++dropped_;
-            if (observer_)
-                observer_->onFinished(*query);
-        }
+    if (failed_ || !target_) {
+        // Routed to a crashed or empty worker (stale routing during a
+        // swap or after a fault): bounce it back for re-routing, or
+        // drop if impossible.
+        bounce(query);
         return;
     }
     queue_.push_back(query);
     if (!busy_ && !loading_)
         evaluate();
+}
+
+void
+Worker::failNextLoad()
+{
+    if (loading_) {
+        // The in-progress load fails on the spot.
+        ++load_epoch_;
+        loading_ = false;
+        target_.reset();
+        ++failed_loads_;
+        std::deque<Query*> stranded = std::move(queue_);
+        queue_.clear();
+        for (Query* q : stranded)
+            bounce(q);
+        if (load_failure_alarm_)
+            load_failure_alarm_(device_);
+        return;
+    }
+    fail_next_load_ = true;
 }
 
 void
@@ -197,17 +294,23 @@ Worker::executeBatch(int count)
         double f = 1.0 + rng_.uniform(-jitter_frac_, jitter_frac_);
         lat = static_cast<Duration>(static_cast<double>(lat) * f);
     }
+    if (stall_until_ != kNoTime && sim_->now() < stall_until_) {
+        lat = static_cast<Duration>(static_cast<double>(lat) *
+                                    stall_factor_);
+    }
     busy_ = true;
     busy_time_ += lat;
     ++batches_;
     batched_queries_ += static_cast<std::uint64_t>(count);
     // Capture the executing variant: a swap may be requested while
     // the batch runs, but these queries were served by this variant.
+    // The batch is tracked so a crash can abort and re-route it.
     const VariantId executing = *target_;
-    sim_->scheduleAfter(lat,
-                        [this, executing, b = std::move(batch)]() mutable {
-        finishBatch(executing, std::move(b));
-    });
+    inflight_ = batch;
+    inflight_event_ = sim_->scheduleAfter(
+        lat, [this, executing, b = std::move(batch)]() mutable {
+            finishBatch(executing, std::move(b));
+        });
 }
 
 void
@@ -215,6 +318,8 @@ Worker::finishBatch(VariantId executed_variant,
                     std::vector<Query*> batch)
 {
     busy_ = false;
+    inflight_event_ = kNoEvent;
+    inflight_.clear();
     const Time now = sim_->now();
     const double accuracy = registry_->variant(executed_variant).accuracy;
     bool any_violation = false;

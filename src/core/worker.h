@@ -57,6 +57,55 @@ class Worker
     void setBatchingPolicy(std::unique_ptr<BatchingPolicy> policy);
 
     /**
+     * Attach the cluster health tracker (optional). The worker marks
+     * its device Up when a model load completes while Recovering.
+     */
+    void setHealthTracker(DeviceHealthTracker* health)
+    {
+        health_ = health;
+    }
+
+    /** Called with the device id when a model load fails. */
+    using LoadFailureFn = std::function<void(DeviceId)>;
+
+    /** Install the model-load-failure alarm (optional). */
+    void setLoadFailureAlarm(LoadFailureFn alarm)
+    {
+        load_failure_alarm_ = std::move(alarm);
+    }
+
+    /**
+     * The device died. The in-flight batch (if any) is aborted and
+     * its queries handed back for re-routing together with everything
+     * queued; the hosted model is lost. The worker refuses work until
+     * recover().
+     */
+    void crash();
+
+    /**
+     * The device is back (Recovering): hosting is possible again. The
+     * worker stays empty until the controller re-places a variant.
+     */
+    void recover();
+
+    /** @return true while the device is crashed. */
+    bool failed() const { return failed_; }
+
+    /**
+     * Transient stall: execution latency is multiplied by @p factor
+     * until @p window from now. Overlapping stalls keep the maximum
+     * factor and the later end.
+     */
+    void setStall(double factor, Duration window);
+
+    /**
+     * Fail the in-progress model load, or arm a one-shot failure for
+     * the next load if none is in progress. Raises the load-failure
+     * alarm when the load actually fails.
+     */
+    void failNextLoad();
+
+    /**
      * Begin hosting @p variant (std::nullopt unloads). Unless
      * @p instant, the swap takes the model-load time during which the
      * worker cannot execute; queued queries of a different family are
@@ -95,6 +144,12 @@ class Worker
     /** @return total batches executed. */
     std::uint64_t batches() const { return batches_; }
 
+    /** @return crashes suffered by this worker. */
+    std::uint64_t crashes() const { return crashes_; }
+
+    /** @return model loads that failed on this worker. */
+    std::uint64_t failedLoads() const { return failed_loads_; }
+
     /** @return mean executed batch size (0 when none). */
     double meanBatchSize() const;
 
@@ -108,6 +163,7 @@ class Worker
     void finishBatch(VariantId executed_variant,
                      std::vector<Query*> batch);
     void cancelTimer();
+    void bounce(Query* query);
 
     Simulator* sim_;
     const Cluster* cluster_;
@@ -131,10 +187,22 @@ class Worker
     EventId timer_ = kNoEvent;
     Time timer_at_ = kNoTime;
 
+    // Fault state (driven by the fault-injection subsystem).
+    DeviceHealthTracker* health_ = nullptr;
+    LoadFailureFn load_failure_alarm_;
+    bool failed_ = false;
+    bool fail_next_load_ = false;
+    double stall_factor_ = 1.0;
+    Time stall_until_ = kNoTime;
+    EventId inflight_event_ = kNoEvent;
+    std::vector<Query*> inflight_;
+
     std::uint64_t served_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t batches_ = 0;
     std::uint64_t batched_queries_ = 0;
+    std::uint64_t crashes_ = 0;
+    std::uint64_t failed_loads_ = 0;
     Duration busy_time_ = 0;
 };
 

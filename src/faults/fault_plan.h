@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fault-injection plan: the declarative description of the supply
+ * shocks a run must survive. A plan combines scripted events (exact
+ * times against exact devices, for regression tests and paper-style
+ * crash-recovery traces) with a seeded-random schedule (for chaos and
+ * property testing). Everything is deterministic: the same plan and
+ * seed always materialize the same event sequence.
+ *
+ * Pure configuration — no dependency beyond the scalar types — so the
+ * SystemConfig can embed a FaultPlan without pulling the injector
+ * machinery into every translation unit.
+ */
+
+#ifndef PROTEUS_FAULTS_FAULT_PLAN_H_
+#define PROTEUS_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proteus {
+
+/** Kind of supply shock injected against a device. */
+enum class FaultKind {
+    DeviceCrash,    ///< device dies; queued + in-flight work is lost
+    DeviceRecovery, ///< a Down device begins recovering
+    WorkerStall,    ///< transient slowdown: latency x factor for a window
+    ModelLoadFail,  ///< the device's current/next model load fails
+};
+
+/** @return a printable name for @p kind. */
+const char* toString(FaultKind kind);
+
+/** One scheduled fault against one device. */
+struct FaultEvent {
+    Time at = 0;
+    FaultKind kind = FaultKind::DeviceCrash;
+    DeviceId device = kInvalidId;
+    /**
+     * DeviceCrash only: delay until automatic recovery begins.
+     * 0 = the device stays down unless a DeviceRecovery event is
+     * scripted explicitly.
+     */
+    Duration downtime = 0;
+    /** WorkerStall only: execution-latency multiplier (> 1). */
+    double stall_factor = 1.0;
+    /** WorkerStall only: how long the slowdown lasts. */
+    Duration stall_window = 0;
+};
+
+/** Seeded-random fault generation (chaos mode). Rates are per device. */
+struct RandomFaultConfig {
+    /** Mean crashes per device per hour (Poisson process). 0 = none. */
+    double crash_rate_per_hour = 0.0;
+    /** Mean downtime of a random crash (exponential). */
+    Duration mean_downtime = seconds(30.0);
+    /** Mean stalls per device per hour. 0 = none. */
+    double stall_rate_per_hour = 0.0;
+    /** Latency multiplier of a random stall. */
+    double stall_factor = 3.0;
+    /** Mean stall window (exponential). */
+    Duration mean_stall_window = seconds(10.0);
+    /** Mean load failures per device per hour. 0 = none. */
+    double load_fail_rate_per_hour = 0.0;
+
+    bool
+    enabled() const
+    {
+        return crash_rate_per_hour > 0.0 || stall_rate_per_hour > 0.0 ||
+               load_fail_rate_per_hour > 0.0;
+    }
+};
+
+/** Full fault-injection plan for one run. */
+struct FaultPlan {
+    /** Exact scripted events (need not be sorted). */
+    std::vector<FaultEvent> scripted;
+    /** Additional seeded-random schedule, materialized at arm time. */
+    RandomFaultConfig random;
+    /**
+     * Seed for the random schedule. Folded with the device id so each
+     * device draws an independent, reproducible stream.
+     */
+    std::uint64_t seed = 1;
+
+    /** @return true when the plan injects nothing. */
+    bool
+    empty() const
+    {
+        return scripted.empty() && !random.enabled();
+    }
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_FAULTS_FAULT_PLAN_H_

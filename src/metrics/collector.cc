@@ -60,6 +60,39 @@ MetricsCollector::onFinished(const Query& query)
     apply(current_family_[query.family]);
     apply(totals_);
     apply(family_totals_[query.family]);
+
+    if (query.violatedSlo()) {
+        for (FaultWindow& w : fault_windows_) {
+            if (w.end == kNoTime)
+                ++w.violations_during;
+        }
+    }
+}
+
+void
+MetricsCollector::onDeviceDown(DeviceId device, double capacity_lost_qps)
+{
+    FaultWindow w;
+    w.device = device;
+    w.start = sim_->now();
+    w.capacity_lost_qps = capacity_lost_qps;
+    fault_windows_.push_back(w);
+    ++devices_down_;
+}
+
+void
+MetricsCollector::onDeviceUp(DeviceId device)
+{
+    // Close the (single) open window of this device; scan backwards
+    // since it is almost always the latest entry.
+    for (auto it = fault_windows_.rbegin(); it != fault_windows_.rend();
+         ++it) {
+        if (it->device == device && it->end == kNoTime) {
+            it->end = sim_->now();
+            --devices_down_;
+            return;
+        }
+    }
 }
 
 void
@@ -72,6 +105,7 @@ MetricsCollector::commitInterval()
         snap.length = interval_;
     snap.total = current_;
     snap.per_family = current_family_;
+    snap.devices_down = devices_down_;
     timeline_.push_back(std::move(snap));
 
     interval_start_ = sim_->now();
@@ -120,6 +154,20 @@ MetricsCollector::summary() const
             ? static_cast<double>(totals_.violations()) /
                   static_cast<double>(totals_.arrivals)
             : 0.0;
+
+    s.fault_count = fault_windows_.size();
+    std::uint64_t closed = 0;
+    double closed_downtime = 0.0;
+    for (const FaultWindow& w : fault_windows_) {
+        s.total_downtime_s += toSeconds(w.downtime(sim_->now()));
+        s.fault_violations += w.violations_during;
+        if (w.end != kNoTime) {
+            ++closed;
+            closed_downtime += toSeconds(w.end - w.start);
+        }
+    }
+    if (closed > 0)
+        s.mean_recovery_s = closed_downtime / static_cast<double>(closed);
     return s;
 }
 

@@ -54,12 +54,40 @@ struct IntervalCounters {
     }
 };
 
+/**
+ * One device outage as seen by the metrics pipeline: opened when the
+ * fault subsystem reports a crash, closed when recovery begins (or at
+ * finalize for devices still down). SLO violations completing inside
+ * the window are attributed to it — an over-approximation (a
+ * concurrent burst also violates), but exactly the attribution the
+ * paper-style fault figures plot.
+ */
+struct FaultWindow {
+    DeviceId device = kInvalidId;
+    Time start = 0;
+    /** kNoTime while the outage is still open. */
+    Time end = kNoTime;
+    /** Serving capacity (QPS) the device carried when it died. */
+    double capacity_lost_qps = 0.0;
+    /** SLO violations completed during the outage. */
+    std::uint64_t violations_during = 0;
+
+    /** @return outage length (up to @p now when still open). */
+    Duration
+    downtime(Time now) const
+    {
+        return (end == kNoTime ? now : end) - start;
+    }
+};
+
 /** One entry of the run timeseries. */
 struct IntervalSnapshot {
     Time start = 0;
     Duration length = 0;
     IntervalCounters total;
     std::vector<IntervalCounters> per_family;
+    /** Devices down at the end of the interval (fault injection). */
+    int devices_down = 0;
 
     double
     demandQps() const
@@ -88,6 +116,12 @@ struct RunSummary {
     double max_accuracy_drop = 0.0;    ///< 100 - min interval accuracy
     double slo_violation_ratio = 0.0;  ///< (late+dropped)/arrivals
 
+    // Fault-injection accounting (0 on fault-free runs).
+    std::uint64_t fault_count = 0;        ///< device outages recorded
+    double total_downtime_s = 0.0;        ///< summed outage lengths
+    double mean_recovery_s = 0.0;         ///< mean closed-outage length
+    std::uint64_t fault_violations = 0;   ///< violations inside outages
+
     std::uint64_t
     violations() const
     {
@@ -107,6 +141,24 @@ class MetricsCollector : public QueryObserver
 
     void onArrival(const Query& query) override;
     void onFinished(const Query& query) override;
+
+    /**
+     * A device died carrying @p capacity_lost_qps of provisioned
+     * serving capacity: open a fault window at the current time.
+     */
+    void onDeviceDown(DeviceId device, double capacity_lost_qps);
+
+    /** The device's recovery began: close its open fault window. */
+    void onDeviceUp(DeviceId device);
+
+    /** @return every fault window recorded so far. */
+    const std::vector<FaultWindow>& faultWindows() const
+    {
+        return fault_windows_;
+    }
+
+    /** @return devices currently down. */
+    int devicesDown() const { return devices_down_; }
 
     /** Commit the trailing partial interval; call once after run(). */
     void finalize();
@@ -140,6 +192,8 @@ class MetricsCollector : public QueryObserver
     std::vector<IntervalSnapshot> timeline_;
     IntervalCounters totals_;
     std::vector<IntervalCounters> family_totals_;
+    std::vector<FaultWindow> fault_windows_;
+    int devices_down_ = 0;
     bool finalized_ = false;
 };
 

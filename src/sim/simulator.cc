@@ -39,17 +39,22 @@ Simulator::schedulePeriodic(Duration period, Callback cb)
     // cancellation is checked each time the task re-arms itself.
     EventId handle = next_id_++;
     auto shared = std::make_shared<Callback>(std::move(cb));
-    // A shared_ptr to the closure itself lets each firing re-arm the
-    // next one.
+    // Each firing re-arms the next one. Ownership of the loop closure
+    // lives in the queued event (not in the closure itself, which only
+    // holds a weak_ptr — a self-reference would be a cycle and leak
+    // every periodic task still armed when the run ends).
     auto loop = std::make_shared<std::function<void()>>();
-    *loop = [this, handle, period, shared, loop]() {
+    *loop = [this, handle, period, shared,
+             weak = std::weak_ptr<std::function<void()>>(loop)]() {
         if (cancelled_periodics_.count(handle))
             return;
         (*shared)();
-        if (!cancelled_periodics_.count(handle))
-            scheduleAfter(period, *loop);
+        if (cancelled_periodics_.count(handle))
+            return;
+        if (auto self = weak.lock())
+            scheduleAfter(period, [self] { (*self)(); });
     };
-    scheduleAfter(period, *loop);
+    scheduleAfter(period, [loop] { (*loop)(); });
     return handle;
 }
 

@@ -81,5 +81,64 @@ TEST(ClusterTest, AddZeroDevicesIsNoop)
     EXPECT_EQ(c.numDevices(), 0u);
 }
 
+TEST(DeviceHealthTrackerTest, StartsAllUp)
+{
+    DeviceHealthTracker h(3);
+    EXPECT_EQ(h.size(), 3u);
+    EXPECT_EQ(h.downCount(), 0u);
+    for (DeviceId d = 0; d < 3; ++d) {
+        EXPECT_TRUE(h.up(d));
+        EXPECT_EQ(h.state(d), DeviceHealth::Up);
+    }
+}
+
+TEST(DeviceHealthTrackerTest, FullLifecycle)
+{
+    DeviceHealthTracker h(2);
+    EXPECT_TRUE(h.markDown(0));
+    EXPECT_EQ(h.state(0), DeviceHealth::Down);
+    EXPECT_EQ(h.downCount(), 1u);
+    EXPECT_TRUE(h.markRecovering(0));
+    EXPECT_EQ(h.state(0), DeviceHealth::Recovering);
+    EXPECT_FALSE(h.up(0));
+    EXPECT_EQ(h.downCount(), 0u);  // Recovering is not Down
+    EXPECT_TRUE(h.markUp(0));
+    EXPECT_TRUE(h.up(0));
+    // Device 1 untouched throughout.
+    EXPECT_TRUE(h.up(1));
+}
+
+TEST(DeviceHealthTrackerTest, IllegalTransitionsAreNoops)
+{
+    DeviceHealthTracker h(1);
+    EXPECT_FALSE(h.markRecovering(0));  // not Down
+    EXPECT_TRUE(h.markUp(0));           // Up -> Up is a benign no-op
+    ASSERT_TRUE(h.markDown(0));
+    EXPECT_FALSE(h.markDown(0));  // already Down
+    EXPECT_FALSE(h.markUp(0));    // Down cannot jump straight to Up
+    EXPECT_EQ(h.state(0), DeviceHealth::Down);
+}
+
+TEST(DeviceHealthTrackerTest, DownMaskMarksOnlyDown)
+{
+    DeviceHealthTracker h(4);
+    h.markDown(1);
+    h.markDown(3);
+    h.markRecovering(3);  // plan-eligible again
+    std::vector<char> mask = h.downMask();
+    ASSERT_EQ(mask.size(), 4u);
+    EXPECT_EQ(mask[0], 0);
+    EXPECT_EQ(mask[1], 1);
+    EXPECT_EQ(mask[2], 0);
+    EXPECT_EQ(mask[3], 0);
+}
+
+TEST(DeviceHealthTrackerTest, ToStringNames)
+{
+    EXPECT_STREQ(toString(DeviceHealth::Up), "up");
+    EXPECT_STREQ(toString(DeviceHealth::Down), "down");
+    EXPECT_STREQ(toString(DeviceHealth::Recovering), "recovering");
+}
+
 }  // namespace
 }  // namespace proteus

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -20,6 +21,7 @@ class FakeAllocator : public Allocator
     {
         ++calls;
         last_demand = input.demand_qps;
+        last_down = input.device_down;
         Allocation plan;
         plan.hosting.assign(1, std::nullopt);
         plan.routing.assign(input.demand_qps.size(), {});
@@ -31,6 +33,7 @@ class FakeAllocator : public Allocator
 
     int calls = 0;
     std::vector<double> last_demand;
+    std::vector<char> last_down;
 
   private:
     Duration delay_;
@@ -120,6 +123,126 @@ TEST(ControllerTest, DemandComesFromEstimator)
     current = 42.0;
     sim.run(seconds(15.0));
     EXPECT_DOUBLE_EQ(alloc.last_demand[0], 42.0);
+}
+
+TEST(ControllerTest, DebounceBoundaryIsExact)
+{
+    Simulator sim;
+    FakeAllocator alloc;
+    ControllerOptions opts;
+    opts.period = seconds(1000.0);
+    opts.min_interval = seconds(5.0);
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [](const Allocation&) {}, opts);
+    ctl.start({1.0});  // call 1 at t=0
+    // Exactly at the boundary the alarm passes; just inside it does
+    // not (half-open window [last_start, last_start + min_interval)).
+    sim.scheduleAt(seconds(4.999999),
+                   [&ctl] { ctl.requestReallocation(); });
+    sim.scheduleAt(seconds(5.0), [&ctl] { ctl.requestReallocation(); });
+    sim.run(seconds(6.0));
+    EXPECT_EQ(alloc.calls, 2);
+}
+
+TEST(ControllerTest, CapacityChangeBypassesDebounce)
+{
+    Simulator sim;
+    FakeAllocator alloc;
+    ControllerOptions opts;
+    opts.period = seconds(1000.0);
+    opts.min_interval = seconds(5.0);
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [](const Allocation&) {}, opts);
+    ctl.start({1.0});  // call 1 at t=0
+    // A burst alarm at t=1 is debounced; a failure alarm at t=2 is
+    // not — dead capacity must be replanned immediately.
+    sim.scheduleAt(seconds(1.0), [&ctl] { ctl.requestReallocation(); });
+    sim.scheduleAt(seconds(2.0), [&ctl] { ctl.notifyCapacityChange(); });
+    sim.run(seconds(3.0));
+    EXPECT_EQ(alloc.calls, 2);
+}
+
+TEST(ControllerTest, CapacityChangeWhileDecisionPendingResolvesAfter)
+{
+    Simulator sim;
+    FakeAllocator alloc(seconds(8.0));
+    std::vector<Time> applies;
+    ControllerOptions opts;
+    opts.period = seconds(1000.0);
+    opts.min_interval = seconds(0.0);
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [&](const Allocation&) { applies.push_back(sim.now()); },
+                   opts);
+    ctl.start({1.0});  // call 1, applied instantly at t=0
+    // A solve starts at t=1 (applies at t=9). The crash at t=4 cannot
+    // abort it, but must queue a fresh solve right after the stale
+    // plan applies: calls at t=0, t=1 and t=9 -> applies 0, 9, 17.
+    sim.scheduleAt(seconds(1.0), [&ctl] { ctl.requestReallocation(); });
+    sim.scheduleAt(seconds(4.0), [&ctl] { ctl.notifyCapacityChange(); });
+    sim.run(seconds(30.0));
+    EXPECT_EQ(alloc.calls, 3);
+    ASSERT_EQ(applies.size(), 3u);
+    EXPECT_EQ(applies[0], 0);
+    EXPECT_EQ(applies[1], seconds(9.0));
+    EXPECT_EQ(applies[2], seconds(17.0));
+}
+
+TEST(ControllerTest, BurstAlarmsWhilePendingCoalesceIntoNothing)
+{
+    Simulator sim;
+    FakeAllocator alloc(seconds(8.0));
+    ControllerOptions opts;
+    opts.period = seconds(1000.0);
+    opts.min_interval = seconds(0.0);
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [](const Allocation&) {}, opts);
+    ctl.start({1.0});
+    // Unlike notifyCapacityChange, burst alarms during a pending
+    // decision are simply dropped (the fresh plan supersedes them).
+    sim.scheduleAt(seconds(1.0), [&ctl] { ctl.requestReallocation(); });
+    sim.scheduleAt(seconds(4.0), [&ctl] { ctl.requestReallocation(); });
+    sim.scheduleAt(seconds(5.0), [&ctl] { ctl.requestReallocation(); });
+    sim.run(seconds(30.0));
+    EXPECT_EQ(alloc.calls, 2);
+}
+
+TEST(ControllerTest, AvailabilityProbeForwardedToAllocator)
+{
+    Simulator sim;
+    FakeAllocator alloc;
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [](const Allocation&) {});
+    std::vector<char> mask = {0, 1, 0};
+    ctl.setAvailabilityProbe([&mask] { return mask; });
+    ctl.start({1.0});
+    EXPECT_EQ(alloc.last_down, mask);
+    mask = {1, 1, 0};
+    sim.scheduleAt(seconds(1.0), [&ctl] { ctl.notifyCapacityChange(); });
+    sim.run(seconds(2.0));
+    EXPECT_EQ(alloc.last_down, mask);
+}
+
+TEST(ControllerTest, PlanApplyOrderingWithDelay)
+{
+    Simulator sim;
+    FakeAllocator alloc(seconds(4.0));
+    std::vector<int> applied_calls;
+    ControllerOptions opts;
+    opts.period = seconds(30.0);
+    opts.min_interval = seconds(0.0);
+    Controller ctl(&sim, &alloc, [] { return std::vector<double>{1.0}; },
+                   [&](const Allocation&) {
+                       applied_calls.push_back(alloc.calls);
+                   },
+                   opts);
+    ctl.start({1.0});
+    sim.run(seconds(65.0));
+    // Initial applies instantly; periodic solves at 30 and 60 apply at
+    // 34 and 64, strictly in decision order.
+    ASSERT_EQ(applied_calls.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(applied_calls.begin(),
+                               applied_calls.end()));
+    EXPECT_EQ(ctl.reallocations(), 3);
 }
 
 TEST(ControllerTest, NoOverlappingDecisions)

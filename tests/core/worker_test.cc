@@ -236,5 +236,130 @@ TEST(WorkerTest, JitterPreservesDeterminismPerSeed)
     EXPECT_NE(run_once(1), run_once(2));
 }
 
+TEST(WorkerFaultTest, CrashDropsInFlightAndQueuedWork)
+{
+    WorkerFixture fix;
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    VariantId v = fix.world.registry.mostAccurate(resnet);
+    fix.worker.hostVariant(v, true);
+    for (int i = 0; i < 6; ++i) {
+        fix.sim.scheduleAt(millis(i), [&fix, resnet, i] {
+            fix.worker.enqueue(fix.makeQuery(resnet, millis(i)));
+        });
+    }
+    // Crash while the first batch is in flight. No requeue callback is
+    // installed, so everything bounces to Dropped.
+    fix.sim.scheduleAt(millis(10), [&fix] { fix.worker.crash(); });
+    fix.sim.run();
+
+    EXPECT_TRUE(fix.worker.failed());
+    EXPECT_FALSE(fix.worker.ready());
+    EXPECT_EQ(fix.worker.crashes(), 1u);
+    EXPECT_EQ(fix.rec.finished.size(), 6u);
+    for (const Query& q : fix.rec.finished)
+        EXPECT_EQ(q.status, QueryStatus::Dropped);
+    EXPECT_EQ(fix.worker.queueLength(), 0u);
+}
+
+TEST(WorkerFaultTest, FailedWorkerRefusesWorkUntilRecovered)
+{
+    WorkerFixture fix;
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    VariantId v = fix.world.registry.mostAccurate(resnet);
+    fix.worker.hostVariant(v, true);
+    fix.sim.scheduleAt(0, [&fix] { fix.worker.crash(); });
+    fix.sim.scheduleAt(millis(1), [&fix, resnet] {
+        fix.worker.enqueue(fix.makeQuery(resnet, millis(1)));
+    });
+    // hostVariant while down is refused too.
+    fix.sim.scheduleAt(millis(2), [&fix, v] {
+        fix.worker.hostVariant(v, true);
+        EXPECT_FALSE(fix.worker.ready());
+    });
+    fix.sim.scheduleAt(millis(3), [&fix, v, resnet] {
+        fix.worker.recover();
+        fix.worker.hostVariant(v, true);
+        EXPECT_TRUE(fix.worker.ready());
+        fix.worker.enqueue(fix.makeQuery(resnet, fix.sim.now()));
+    });
+    fix.sim.run();
+    ASSERT_EQ(fix.rec.finished.size(), 2u);
+    EXPECT_EQ(fix.rec.finished[0].status, QueryStatus::Dropped);
+    EXPECT_EQ(fix.rec.finished[1].status, QueryStatus::Served);
+}
+
+TEST(WorkerFaultTest, StallSlowsExecutionForWindowOnly)
+{
+    auto serve_latency = [](bool stalled) {
+        World w = miniWorld();
+        Simulator sim;
+        Recorder rec;
+        Worker worker(&sim, &w.cluster, 6, &w.registry, w.cost.get(),
+                      w.profiles.get(), &rec, nullptr);
+        worker.setBatchingPolicy(std::make_unique<ProteusBatching>());
+        FamilyId resnet = w.registry.findFamily("resnet");
+        worker.hostVariant(w.registry.mostAccurate(resnet), true);
+        if (stalled)
+            worker.setStall(4.0, seconds(10.0));
+        // A tight deadline forces prompt execution (the proactive
+        // batcher would otherwise defer past the stall window).
+        std::deque<Query> arena;
+        sim.scheduleAt(0, [&] {
+            arena.push_back(Query{});
+            arena.back().family = resnet;
+            arena.back().arrival = 0;
+            arena.back().deadline = w.profiles->slo(resnet);
+            worker.enqueue(&arena.back());
+        });
+        sim.run();
+        return rec.finished.at(0).completion;
+    };
+    Time normal = serve_latency(false);
+    Time stalled = serve_latency(true);
+    EXPECT_GT(stalled, normal);
+    // The multiplier applies to execution only (queueing/batch delay
+    // unchanged), so the stalled run is at most 4x end to end.
+    EXPECT_LE(stalled, 4 * normal);
+}
+
+TEST(WorkerFaultTest, StallExpires)
+{
+    WorkerFixture fix;
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    fix.worker.hostVariant(fix.world.registry.mostAccurate(resnet), true);
+    fix.worker.setStall(8.0, millis(1));
+    // Enqueue well after the stall window closed.
+    fix.sim.scheduleAt(seconds(1.0), [&fix, resnet] {
+        fix.worker.enqueue(fix.makeQuery(resnet, fix.sim.now()));
+    });
+    fix.sim.run();
+    ASSERT_EQ(fix.rec.finished.size(), 1u);
+    EXPECT_EQ(fix.rec.finished[0].status, QueryStatus::Served);
+}
+
+TEST(WorkerFaultTest, FailNextLoadBouncesAndRaisesAlarm)
+{
+    WorkerFixture fix;
+    FamilyId resnet = fix.world.registry.findFamily("resnet");
+    VariantId v = fix.world.registry.mostAccurate(resnet);
+    int alarms = 0;
+    fix.worker.setLoadFailureAlarm([&alarms](DeviceId) { ++alarms; });
+    fix.worker.failNextLoad();
+    fix.sim.scheduleAt(0, [&fix, v] {
+        fix.worker.hostVariant(v, /*instant=*/false);
+    });
+    fix.sim.run();
+    EXPECT_EQ(alarms, 1);
+    EXPECT_EQ(fix.worker.failedLoads(), 1u);
+    EXPECT_FALSE(fix.worker.ready());
+
+    // The next load attempt succeeds (the failure was one-shot).
+    fix.sim.scheduleAt(fix.sim.now() + millis(1), [&fix, v] {
+        fix.worker.hostVariant(v, /*instant=*/false);
+    });
+    fix.sim.run();
+    EXPECT_TRUE(fix.worker.ready());
+}
+
 }  // namespace
 }  // namespace proteus

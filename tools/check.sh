@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + ctest, plain and under ASan+UBSan.
+#
+#   tools/check.sh          # both passes
+#   tools/check.sh plain    # plain pass only
+#   tools/check.sh asan     # sanitized pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+mode="${1:-all}"
+
+case "${mode}" in
+    all|plain|asan) ;;
+    *)
+        echo "usage: tools/check.sh [all|plain|asan]" >&2
+        exit 2
+        ;;
+esac
+
+run_pass() {
+    local name="$1" dir="$2"
+    shift 2
+    echo "=== ${name}: configure ==="
+    cmake -B "${dir}" -S . "$@"
+    echo "=== ${name}: build ==="
+    cmake --build "${dir}" -j "${jobs}"
+    echo "=== ${name}: ctest ==="
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+if [[ "${mode}" == "all" || "${mode}" == "plain" ]]; then
+    run_pass "plain" build
+fi
+
+if [[ "${mode}" == "all" || "${mode}" == "asan" ]]; then
+    run_pass "asan+ubsan" build-asan \
+        -DPROTEUS_SANITIZE=address,undefined
+fi
+
+echo "=== all requested passes OK ==="
