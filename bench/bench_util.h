@@ -7,25 +7,46 @@
 #ifndef PROTEUS_BENCH_BENCH_UTIL_H_
 #define PROTEUS_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/table.h"
 #include "core/serving_system.h"
 #include "models/model.h"
+#include "obs/exporter.h"
 #include "workload/trace.h"
 
 namespace proteus {
 namespace bench {
 
-/** Run one configured system over @p trace on the paper cluster. */
+/**
+ * Run one configured system over @p trace on the paper cluster.
+ *
+ * When the PROTEUS_TRACE_FILE environment variable is set, span
+ * tracing is force-enabled and the Chrome trace of the run is written
+ * there (each call overwrites the file, so with several systems the
+ * last run wins — point the variable at a single-system invocation
+ * for analysis).
+ */
 inline RunResult
 runSystem(const Cluster& cluster, const ModelRegistry& registry,
           SystemConfig config, const Trace& trace)
 {
+    const char* trace_path = std::getenv("PROTEUS_TRACE_FILE");
+    if (trace_path)
+        config.obs.enabled = true;
     ServingSystem system(&cluster, &registry, config);
-    return system.run(trace);
+    RunResult result = system.run(trace);
+    if (trace_path && system.tracer() &&
+        !obs::writeChromeTrace(*system.tracer(), trace_path)) {
+        warn("could not write trace file ", trace_path);
+    }
+    return result;
 }
 
 /** The five systems compared end-to-end in §6.2. */
@@ -78,6 +99,79 @@ printTimeseries(std::ostream& os, const std::string& name,
     os << "--- timeseries: " << name << " ---\n";
     table.print(os);
 }
+
+/**
+ * Machine-readable companion to the printed tables: collects one
+ * entry per run and writes BENCH_<name>.json next to the binary's
+ * working directory, so plotting scripts consume results without
+ * scraping stdout.
+ */
+class JsonReport
+{
+  public:
+    /** @param name figure/table slug, e.g. "fig04_end_to_end". */
+    explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+    /** Record the summary of one system's run under @p system. */
+    void
+    addRun(const std::string& system, const RunResult& r)
+    {
+        std::string e = "\"" + system + "\":{";
+        e += "\"demand_qps\":" + num(r.summary.avg_demand_qps);
+        e += ",\"throughput_qps\":" + num(r.summary.avg_throughput_qps);
+        e += ",\"effective_accuracy\":" +
+             num(r.summary.effective_accuracy);
+        e += ",\"max_accuracy_drop\":" + num(r.summary.max_accuracy_drop);
+        e += ",\"slo_violation_ratio\":" +
+             num(r.summary.slo_violation_ratio);
+        e += ",\"violations\":" +
+             std::to_string(r.summary.violations());
+        e += ",\"arrivals\":" + std::to_string(r.summary.arrivals);
+        e += ",\"dropped\":" + std::to_string(r.summary.dropped);
+        e += ",\"shed\":" + std::to_string(r.shed);
+        e += ",\"reallocations\":" + std::to_string(r.reallocations);
+        e += ",\"mean_batch_size\":" + num(r.mean_batch_size);
+        e += '}';
+        entries_.push_back(std::move(e));
+    }
+
+    /** Record a scalar result under @p key. */
+    void
+    addValue(const std::string& key, double value)
+    {
+        entries_.push_back("\"" + key + "\":" + num(value));
+    }
+
+    /** Write BENCH_<name>.json in the working directory. */
+    bool
+    write() const
+    {
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        if (!f)
+            return false;
+        f << "{\"bench\":\"" << name_ << "\",\"results\":{";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (i)
+                f << ',';
+            f << entries_[i];
+        }
+        f << "}}\n";
+        return static_cast<bool>(f);
+    }
+
+  private:
+    static std::string
+    num(double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return buf;
+    }
+
+    std::string name_;
+    std::vector<std::string> entries_;
+};
 
 }  // namespace bench
 }  // namespace proteus

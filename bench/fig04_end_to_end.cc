@@ -38,15 +38,18 @@ main()
 
     TextTable summary;
     setSummaryHeader(&summary);
+    JsonReport report("fig04_end_to_end");
     std::map<AllocatorKind, RunResult> results;
     for (AllocatorKind kind : endToEndSystems()) {
         SystemConfig cfg;
         cfg.allocator = kind;
         RunResult r = runSystem(cluster, reg, cfg, trace);
         addSummaryRow(&summary, toString(kind), r);
+        report.addRun(toString(kind), r);
         results.emplace(kind, std::move(r));
     }
     summary.print(std::cout);
+    report.write();
 
     std::cout << "\n";
     for (AllocatorKind kind :

@@ -35,11 +35,13 @@ main()
 
     TextTable summary;
     setSummaryHeader(&summary);
+    JsonReport report("fig05_bursty");
     for (AllocatorKind kind : endToEndSystems()) {
         SystemConfig cfg;
         cfg.allocator = kind;
         RunResult r = runSystem(cluster, reg, cfg, trace);
         addSummaryRow(&summary, toString(kind), r);
+        report.addRun(toString(kind), r);
         if (kind == AllocatorKind::ProteusIlp ||
             kind == AllocatorKind::InfaasAccuracy) {
             printTimeseries(std::cout, toString(kind), r);
@@ -47,6 +49,7 @@ main()
         }
     }
     summary.print(std::cout);
+    report.write();
     std::cout << "\nPaper shape check: both dynamic systems absorb the "
                  "bursts; Proteus shows a short violation spike right "
                  "after each step (its MILP runs off the critical "

@@ -33,6 +33,7 @@ main()
     TextTable table;
     table.setHeader({"arrivals", "proteus", "nexus_batching",
                      "clipper_aimd"});
+    JsonReport report("fig06_batching");
     for (ArrivalProcess process :
          {ArrivalProcess::Uniform, ArrivalProcess::Poisson,
           ArrivalProcess::Gamma}) {
@@ -53,11 +54,15 @@ main()
             cfg.burst_threshold = 1e9;
             RunResult r = runSystem(cluster, reg, cfg, trace);
             row.push_back(fmtDouble(r.summary.slo_violation_ratio, 4));
+            report.addRun(std::string(toString(process)) + "/" +
+                              toString(batching),
+                          r);
         }
         table.addRow(std::move(row));
     }
     std::cout << "SLO violation ratio by batching policy:\n";
     table.print(std::cout);
+    report.write();
     std::cout << "\nPaper shape check: all three are close on uniform "
                  "arrivals; on Poisson and Gamma (micro-bursty) "
                  "arrivals the proactive non-work-conserving Proteus "

@@ -55,11 +55,14 @@ main()
 
     TextTable summary;
     setSummaryHeader(&summary);
+    JsonReport report("fig07_ablation");
     for (const auto& variant : variants) {
         RunResult r = runSystem(cluster, reg, variant.cfg, trace);
         addSummaryRow(&summary, variant.name, r);
+        report.addRun(variant.name, r);
     }
     summary.print(std::cout);
+    report.write();
     std::cout << "\nPaper shape check: removing model selection (w/o "
                  "MS) keeps accuracy at 100% but causes the most SLO "
                  "violations; removing placement (w/o MP) hurts "

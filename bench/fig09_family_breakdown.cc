@@ -29,6 +29,9 @@ main()
 
     SystemConfig cfg;
     RunResult r = runSystem(cluster, reg, cfg, trace);
+    JsonReport report("fig09_family_breakdown");
+    report.addRun("proteus", r);
+    report.write();
 
     std::cout << "== Fig. 9: Proteus per-family breakdown ("
               << trace.size() << " queries) ==\n\n";

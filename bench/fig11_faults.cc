@@ -100,12 +100,14 @@ main()
     summary.setHeader({"system", "throughput_qps", "effective_acc",
                        "slo_violation_ratio", "violations",
                        "fault_violations", "downtime_s"});
+    JsonReport report("fig11_faults");
     for (AllocatorKind kind :
          {AllocatorKind::ClipperHA, AllocatorKind::ProteusIlp}) {
         SystemConfig cfg;
         cfg.allocator = kind;
         cfg.faults = plan;
         RunResult r = runSystem(cluster, reg, cfg, trace);
+        report.addRun(toString(kind), r);
         summary.addRow({toString(kind),
                         fmtDouble(r.summary.avg_throughput_qps, 1),
                         fmtPercent(r.summary.effective_accuracy, 2),
@@ -119,6 +121,7 @@ main()
         std::cout << "\n";
     }
     summary.print(std::cout);
+    report.write();
     std::cout
         << "\nShape check: during the outages the failure-aware "
            "Proteus plan keeps the violation ratio near its fault-free "

@@ -95,13 +95,29 @@ BM_MilpAllocation(benchmark::State& state)
     for (std::size_t f = 0; f < demand.size(); ++f)
         demand[f] = 600.0 * zipf.pmf(f);
 
+    double solve_s = 0.0, nodes = 0.0, iters = 0.0, backoff = 0.0;
     for (auto _ : state) {
         IlpAllocator alloc(&reg, &cluster, &profiles);
         AllocationInput in;
         in.demand_qps = demand;
         Allocation plan = alloc.allocate(in);
         benchmark::DoNotOptimize(plan.expected_accuracy);
+        const auto& st = alloc.lastStats();
+        solve_s += st.solve_seconds;
+        nodes += static_cast<double>(st.nodes);
+        iters += static_cast<double>(st.simplex_iters);
+        backoff += st.backoff_steps;
     }
+    // Solver-phase breakdown of §6.8: how the decision time divides
+    // into B&B nodes and simplex work, averaged per allocation.
+    state.counters["solve_ms"] = benchmark::Counter(
+        solve_s * 1e3, benchmark::Counter::kAvgIterations);
+    state.counters["bb_nodes"] =
+        benchmark::Counter(nodes, benchmark::Counter::kAvgIterations);
+    state.counters["simplex_iters"] =
+        benchmark::Counter(iters, benchmark::Counter::kAvgIterations);
+    state.counters["backoff_steps"] =
+        benchmark::Counter(backoff, benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_MilpAllocation)->Unit(benchmark::kMillisecond);
 
@@ -125,6 +141,7 @@ BM_MilpReallocationWarm(benchmark::State& state)
     first.demand_qps = demand;
     Allocation current = alloc.allocate(first);
 
+    double solve_s = 0.0, nodes = 0.0, iters = 0.0;
     for (auto _ : state) {
         AllocationInput in;
         in.demand_qps = demand;
@@ -133,7 +150,17 @@ BM_MilpReallocationWarm(benchmark::State& state)
         in.current = &current;
         Allocation plan = alloc.allocate(in);
         benchmark::DoNotOptimize(plan.expected_accuracy);
+        const auto& st = alloc.lastStats();
+        solve_s += st.solve_seconds;
+        nodes += static_cast<double>(st.nodes);
+        iters += static_cast<double>(st.simplex_iters);
     }
+    state.counters["solve_ms"] = benchmark::Counter(
+        solve_s * 1e3, benchmark::Counter::kAvgIterations);
+    state.counters["bb_nodes"] =
+        benchmark::Counter(nodes, benchmark::Counter::kAvgIterations);
+    state.counters["simplex_iters"] =
+        benchmark::Counter(iters, benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_MilpReallocationWarm)->Unit(benchmark::kMillisecond);
 

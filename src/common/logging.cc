@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
@@ -8,6 +9,9 @@ namespace proteus {
 namespace {
 
 LogLevel g_level = LogLevel::Warn;
+
+const void* g_time_owner = nullptr;
+double (*g_time_fn)(const void*) = nullptr;
 
 }  // namespace
 
@@ -23,6 +27,22 @@ logLevel()
     return g_level;
 }
 
+void
+setLogTimeSource(const void* owner, double (*fn)(const void*))
+{
+    g_time_owner = owner;
+    g_time_fn = fn;
+}
+
+void
+clearLogTimeSource(const void* owner)
+{
+    if (g_time_owner != owner)
+        return;
+    g_time_owner = nullptr;
+    g_time_fn = nullptr;
+}
+
 namespace detail {
 
 void
@@ -30,6 +50,13 @@ emit(LogLevel level, const std::string& tag, const std::string& msg)
 {
     if (static_cast<int>(level) > static_cast<int>(g_level))
         return;
+    if (g_time_fn) {
+        char at[32];
+        std::snprintf(at, sizeof(at), "@%.3fs ",
+                      g_time_fn(g_time_owner));
+        std::cerr << "[" << tag << "] " << at << msg << "\n";
+        return;
+    }
     std::cerr << "[" << tag << "] " << msg << "\n";
 }
 

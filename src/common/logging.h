@@ -25,6 +25,21 @@ void setLogLevel(LogLevel level);
 /** @return the current global log verbosity. */
 LogLevel logLevel();
 
+/**
+ * Register a clock for log messages: every inform/warn/debug line is
+ * prefixed with "@<seconds>s" of simulated time so output is
+ * attributable to a point in the run. @p fn is called with @p owner at
+ * each emission; a second registration displaces the first (the most
+ * recently constructed simulator wins).
+ */
+void setLogTimeSource(const void* owner, double (*fn)(const void*));
+
+/**
+ * Unregister @p owner's clock. A no-op unless @p owner is the current
+ * source, so destroying an old simulator never silences a newer one.
+ */
+void clearLogTimeSource(const void* owner);
+
 namespace detail {
 
 void emit(LogLevel level, const std::string& tag, const std::string& msg);

@@ -92,16 +92,35 @@ WindowedRate::countInWindow(Time now) const
 }
 
 double
+percentileSorted(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    rank = std::max(rank, 0.0);
+    auto lo = std::min(static_cast<std::size_t>(rank),
+                       sorted.size() - 1);
+    auto hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
 percentile(std::vector<double> values, double p)
 {
-    if (values.empty())
-        return 0.0;
     std::sort(values.begin(), values.end());
-    double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-    auto lo = static_cast<std::size_t>(rank);
-    auto hi = std::min(lo + 1, values.size() - 1);
-    double frac = rank - static_cast<double>(lo);
-    return values[lo] * (1.0 - frac) + values[hi] * frac;
+    return percentileSorted(values, p);
+}
+
+std::vector<double>
+percentiles(std::vector<double> values, const std::vector<double>& ps)
+{
+    std::sort(values.begin(), values.end());
+    std::vector<double> out;
+    out.reserve(ps.size());
+    for (double p : ps)
+        out.push_back(percentileSorted(values, p));
+    return out;
 }
 
 }  // namespace proteus

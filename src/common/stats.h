@@ -108,6 +108,20 @@ class WindowedRate
 /** @return the p-th percentile (0..100) of @p values; 0 when empty. */
 double percentile(std::vector<double> values, double p);
 
+/**
+ * @return the p-th percentile of @p sorted, which must already be in
+ * ascending order; 0 when empty. Linear interpolation between ranks.
+ */
+double percentileSorted(const std::vector<double>& sorted, double p);
+
+/**
+ * @return one percentile per entry of @p ps (0..100), sorting
+ * @p values once. Equivalent to calling percentile() per p but with a
+ * single O(n log n) sort instead of one per percentile.
+ */
+std::vector<double> percentiles(std::vector<double> values,
+                                const std::vector<double>& ps);
+
 }  // namespace proteus
 
 #endif  // PROTEUS_COMMON_STATS_H_

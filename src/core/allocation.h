@@ -91,6 +91,24 @@ struct AllocationInput {
     }
 };
 
+/**
+ * Instrumentation of an allocator's most recent decision, consumed by
+ * the controller's observability spans (DESIGN.md, "Observability").
+ * Heuristic allocators leave the solver fields at zero.
+ */
+struct AllocatorSolveMeta {
+    /** Wall-clock seconds the decision took to compute. */
+    double wall_seconds = 0.0;
+    /** Branch-and-bound nodes explored (MILP allocators). */
+    std::int64_t nodes = 0;
+    /** Simplex iterations across all LP relaxations. */
+    std::int64_t simplex_iterations = 0;
+    /** Final relative incumbent/bound gap (0 when proven optimal). */
+    double gap = 0.0;
+    /** Infeasibility backoff steps taken (§4 demand scale-down). */
+    int backoff_steps = 0;
+};
+
 /** Strategy interface for resource allocation. */
 class Allocator
 {
@@ -99,6 +117,12 @@ class Allocator
 
     /** Compute a plan for the given demand. */
     virtual Allocation allocate(const AllocationInput& input) = 0;
+
+    /**
+     * Instrumentation of the most recent allocate() call. The default
+     * (all-zero) suits heuristic allocators with no solver phase.
+     */
+    virtual AllocatorSolveMeta lastSolveMeta() const { return {}; }
 
     /**
      * Decision latency to simulate between invoking the allocator and

@@ -13,6 +13,7 @@
 
 #include "common/types.h"
 #include "faults/fault_plan.h"
+#include "obs/trace.h"
 
 namespace proteus {
 
@@ -80,6 +81,14 @@ struct SystemConfig {
      * DESIGN.md, "Fault model".
      */
     FaultPlan faults;
+
+    /**
+     * Observability (DESIGN.md, "Observability"): per-query span
+     * tracing into a preallocated ring buffer plus solver/controller
+     * instrumentation in the metrics registry. Off by default; the
+     * disabled hot path costs one null-pointer test per hook.
+     */
+    obs::ObsOptions obs;
 };
 
 }  // namespace proteus

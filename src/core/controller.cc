@@ -19,6 +19,58 @@ Controller::Controller(Simulator* sim, Allocator* allocator,
 {}
 
 void
+Controller::setObs(obs::Tracer* tracer, obs::MetricsRegistry* registry)
+{
+    tracer_ = tracer;
+    if (registry) {
+        decisions_ = registry->counter("controller.decisions");
+        solve_wall_us_ = registry->histogram("solver.wall_us");
+        solve_nodes_ = registry->histogram("solver.nodes");
+        solve_iters_ = registry->histogram("solver.simplex_iters");
+    }
+}
+
+std::uint64_t
+Controller::noteSolve(const AllocatorSolveMeta& meta)
+{
+    const std::uint64_t decision = ++decision_seq_;
+    if (decisions_)
+        decisions_->inc();
+    if (solve_wall_us_)
+        solve_wall_us_->record(meta.wall_seconds * 1e6);
+    if (solve_nodes_)
+        solve_nodes_->record(static_cast<double>(meta.nodes));
+    if (solve_iters_)
+        solve_iters_->record(static_cast<double>(meta.simplex_iterations));
+    return decision;
+}
+
+void
+Controller::traceDecision(std::uint64_t decision, Time solved_at,
+                          const AllocatorSolveMeta& meta)
+{
+    if (!tracer_)
+        return;
+    const Time now = sim_->now();
+    obs::SpanRecord solve;
+    solve.kind = obs::SpanKind::Solve;
+    solve.start = solved_at;
+    solve.end = now;
+    solve.id = decision;
+    solve.v0 = meta.nodes;
+    solve.v1 = meta.simplex_iterations;
+    solve.v2 = static_cast<std::int64_t>(meta.gap * 1e6);
+    tracer_->record(solve);
+
+    obs::SpanRecord apply;
+    apply.kind = obs::SpanKind::Apply;
+    apply.start = apply.end = now;
+    apply.id = decision;
+    apply.v0 = reallocations_;
+    tracer_->record(apply);
+}
+
+void
 Controller::start(const std::vector<double>& initial_demand)
 {
     AllocationInput input;
@@ -28,9 +80,11 @@ Controller::start(const std::vector<double>& initial_demand)
     if (availability_fn_)
         input.device_down = availability_fn_();
     current_ = allocator_->allocate(input);
+    const std::uint64_t decision = noteSolve(allocator_->lastSolveMeta());
     has_plan_ = true;
     ++reallocations_;
     apply_fn_(current_);
+    traceDecision(decision, sim_->now(), allocator_->lastSolveMeta());
     last_start_ = sim_->now();
 
     sim_->schedulePeriodic(options_.period, [this] {
@@ -91,21 +145,27 @@ Controller::reallocate(bool initial)
     // now), but the plan takes effect only after the decision delay —
     // the MILP runs off the critical path (paper §4).
     Allocation plan = allocator_->allocate(input);
+    const AllocatorSolveMeta meta = allocator_->lastSolveMeta();
+    const std::uint64_t decision = noteSolve(meta);
+    const Time solved_at = sim_->now();
     Duration delay = allocator_->decisionDelay();
     if (delay <= 0) {
         current_ = std::move(plan);
         has_plan_ = true;
         ++reallocations_;
         apply_fn_(current_);
+        traceDecision(decision, solved_at, meta);
         return;
     }
     decision_pending_ = true;
-    sim_->scheduleAfter(delay, [this, p = std::move(plan)]() mutable {
+    sim_->scheduleAfter(delay, [this, decision, solved_at, meta,
+                                p = std::move(plan)]() mutable {
         decision_pending_ = false;
         current_ = std::move(p);
         has_plan_ = true;
         ++reallocations_;
         apply_fn_(current_);
+        traceDecision(decision, solved_at, meta);
         if (resolve_after_apply_) {
             // Capacity changed while this decision was in flight:
             // solve again against the surviving hardware.

@@ -19,6 +19,8 @@
 
 #include "common/types.h"
 #include "core/allocation.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace proteus {
@@ -77,6 +79,16 @@ class Controller
         availability_fn_ = std::move(probe);
     }
 
+    /**
+     * Attach observability sinks (either may be null). The tracer
+     * receives one Solve span per decision (solve start → plan
+     * applied, annotated with B&B nodes, simplex iterations and the
+     * final gap in ppm) plus an instant Apply span; the registry
+     * gets the decision counter and solver wall-time/work histograms
+     * (wall time stays out of the trace to keep it deterministic).
+     */
+    void setObs(obs::Tracer* tracer, obs::MetricsRegistry* registry);
+
     /** @return the plan currently in force. */
     const Allocation& current() const { return current_; }
 
@@ -86,11 +98,25 @@ class Controller
   private:
     void reallocate(bool initial);
 
+    /** Feed the last solve's stats to the registry; @return its seq. */
+    std::uint64_t noteSolve(const AllocatorSolveMeta& meta);
+
+    /** Emit the Solve + Apply spans of decision @p decision. */
+    void traceDecision(std::uint64_t decision, Time solved_at,
+                       const AllocatorSolveMeta& meta);
+
     Simulator* sim_;
     Allocator* allocator_;
     DemandFn demand_fn_;
     ApplyFn apply_fn_;
     ControllerOptions options_;
+
+    obs::Tracer* tracer_ = nullptr;
+    obs::Counter* decisions_ = nullptr;
+    obs::Histogram* solve_wall_us_ = nullptr;
+    obs::Histogram* solve_nodes_ = nullptr;
+    obs::Histogram* solve_iters_ = nullptr;
+    std::uint64_t decision_seq_ = 0;
 
     Allocation current_;
     std::function<std::vector<char>()> availability_fn_;

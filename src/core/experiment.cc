@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "obs/exporter.h"
 #include "workload/generators.h"
 
 namespace proteus {
@@ -167,6 +168,17 @@ loadExperiment(const JsonValue& json)
     spec.config.seed =
         static_cast<std::uint64_t>(json.numberOr("seed", 1.0));
 
+    if (json.has("observability")) {
+        const JsonValue& o = json.at("observability");
+        spec.config.obs.enabled = o.boolOr("enabled", false);
+        spec.config.obs.ring_capacity = static_cast<std::size_t>(
+            o.numberOr("ring_capacity",
+                       static_cast<double>(
+                           spec.config.obs.ring_capacity)));
+        spec.trace_path = o.stringOr("trace_file", "");
+        spec.metrics_path = o.stringOr("metrics_file", "");
+    }
+
     spec.cluster = clusterFromJson(json);
     spec.registry = registryFromJson(json);
     spec.trace = traceFromJson(json, spec.registry.numFamilies());
@@ -186,9 +198,22 @@ loadExperimentFile(const std::string& path)
 RunResult
 runExperiment(ExperimentSpec* spec)
 {
+    if (!spec->trace_path.empty() || !spec->metrics_path.empty())
+        spec->config.obs.enabled = true;
     ServingSystem system(&spec->cluster, &spec->registry,
                          spec->config);
-    return system.run(spec->trace);
+    RunResult result = system.run(spec->trace);
+    if (!spec->trace_path.empty()) {
+        if (!obs::writeChromeTrace(*system.tracer(), spec->trace_path))
+            warn("could not write trace file ", spec->trace_path);
+    }
+    if (!spec->metrics_path.empty()) {
+        if (!obs::writeMetricsJson(system.metricsRegistry(),
+                                   spec->metrics_path)) {
+            warn("could not write metrics file ", spec->metrics_path);
+        }
+    }
+    return result;
 }
 
 }  // namespace proteus

@@ -45,6 +45,14 @@ struct ExperimentSpec {
     Cluster cluster;
     ModelRegistry registry;
     Trace trace;
+    /**
+     * When non-empty, span tracing is enabled for the run and the
+     * Chrome trace-event JSON is written here afterwards (loadable in
+     * chrome://tracing or Perfetto).
+     */
+    std::string trace_path;
+    /** When non-empty, the metrics-registry JSON dump is written here. */
+    std::string metrics_path;
 };
 
 /**

@@ -580,9 +580,11 @@ IlpAllocator::solveAggregated(const std::vector<double>& demand,
     mopt.time_limit_sec = options_.milp_time_limit_sec;
     mopt.gap_tol = options_.milp_gap;
     mopt.heuristic_period = 4;
-    Solution sol =
-        MilpSolver(mopt).solve(lp, hint.empty() ? nullptr : &hint);
+    MilpSolver milp(mopt);
+    Solution sol = milp.solve(lp, hint.empty() ? nullptr : &hint);
     out.nodes = sol.work;
+    out.simplex_iters = milp.lastStats().simplex_iterations;
+    out.gap = milp.lastStats().gap;
     if (sol.status == SolveStatus::Infeasible) {
         out.feasible = false;
         return out;
@@ -820,8 +822,12 @@ IlpAllocator::allocate(const AllocationInput& input)
 
     TypeSolution sol;
     int steps = 0;
+    std::int64_t total_nodes = 0;
+    std::int64_t total_iters = 0;
     while (true) {
         sol = solveAggregated(demand, cur);
+        total_nodes += sol.nodes;
+        total_iters += sol.simplex_iters;
         if (sol.feasible)
             break;
         ++steps;
@@ -831,6 +837,8 @@ IlpAllocator::allocate(const AllocationInput& input)
             for (auto& d : demand)
                 d = 0.0;
             sol = solveAggregated(demand, cur);
+            total_nodes += sol.nodes;
+            total_iters += sol.simplex_iters;
             break;
         }
         for (auto& d : demand)
@@ -881,6 +889,8 @@ IlpAllocator::allocate(const AllocationInput& input)
                 kept.objective = cur.objective;
                 kept.feasible = true;
                 kept.nodes = sol.nodes;
+                kept.simplex_iters = sol.simplex_iters;
+                kept.gap = sol.gap;
                 sol = std::move(kept);
             }
         }
@@ -892,7 +902,9 @@ IlpAllocator::allocate(const AllocationInput& input)
     down_ = nullptr;
     stats_.solve_seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
-    stats_.nodes = sol.nodes;
+    stats_.nodes = total_nodes;
+    stats_.simplex_iters = total_iters;
+    stats_.gap = sol.gap;
     stats_.backoff_steps = steps;
     stats_.served_fraction = plan.planned_fraction;
     return plan;

@@ -147,12 +147,28 @@ class IlpAllocator : public Allocator
     struct SolveStats {
         double solve_seconds = 0.0;
         std::int64_t nodes = 0;
+        /** Simplex iterations over every LP relaxation solved. */
+        std::int64_t simplex_iters = 0;
+        /** Final MILP incumbent/bound gap of the accepted solve. */
+        double gap = 0.0;
         int backoff_steps = 0;
         double served_fraction = 1.0;
     };
 
     /** @return stats of the last allocate() call. */
     const SolveStats& lastStats() const { return stats_; }
+
+    AllocatorSolveMeta
+    lastSolveMeta() const override
+    {
+        AllocatorSolveMeta meta;
+        meta.wall_seconds = stats_.solve_seconds;
+        meta.nodes = stats_.nodes;
+        meta.simplex_iterations = stats_.simplex_iters;
+        meta.gap = stats_.gap;
+        meta.backoff_steps = stats_.backoff_steps;
+        return meta;
+    }
 
   private:
     /** Aggregated solution: devices-per-(type, variant) plus QPS. */
@@ -162,6 +178,8 @@ class IlpAllocator : public Allocator
         double objective = 0.0;
         bool feasible = false;
         std::int64_t nodes = 0;
+        std::int64_t simplex_iters = 0;          ///< summed LP work
+        double gap = 0.0;                        ///< final MILP gap
     };
 
     TypeSolution solveAggregated(

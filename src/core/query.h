@@ -8,6 +8,7 @@
 #define PROTEUS_CORE_QUERY_H_
 
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace proteus {
 
@@ -38,6 +39,16 @@ struct Query {
     /** Device that served (or dropped) it, kInvalidId if none. */
     DeviceId served_by = kInvalidId;
 
+    // Stage timestamps for span tracing (DESIGN.md, "Observability").
+    // Written unconditionally (plain stores, no branches) so the trace
+    // subsystem can attribute latency without touching the hot path.
+    /** Admission at the load balancer (kNoTime before routing). */
+    Time routed_at = kNoTime;
+    /** Most recent enqueue on a worker (re-set after re-routing). */
+    Time enqueued_at = kNoTime;
+    /** Start of the batch execution that served it. */
+    Time exec_start = kNoTime;
+
     /** @return true once the query reached a terminal state. */
     bool
     finished() const
@@ -53,6 +64,30 @@ struct Query {
                status == QueryStatus::Dropped;
     }
 };
+
+/**
+ * Record the terminal Query span of @p query: arrival to completion,
+ * tagged with its final status, serving device and (when known) the
+ * variant that served it. Every drop/finish site calls this so each
+ * query contributes exactly one Query span.
+ */
+inline void
+traceQueryEnd(obs::Tracer* tracer, const Query& query,
+              VariantId variant = kInvalidId)
+{
+    obs::SpanRecord s;
+    s.kind = obs::SpanKind::Query;
+    s.start = query.arrival;
+    s.end = query.completion;
+    s.id = query.id;
+    s.a = query.family;
+    s.b = variant;
+    s.v0 = static_cast<std::int64_t>(query.status);
+    s.v1 = query.served_by == kInvalidId
+               ? -1
+               : static_cast<std::int64_t>(query.served_by);
+    tracer->record(s);
+}
 
 /** Sink for query lifecycle events; implemented by the metrics layer. */
 class QueryObserver

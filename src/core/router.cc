@@ -67,6 +67,7 @@ LoadBalancer::submit(Query* query)
     PROTEUS_ASSERT(query->family == family_,
                    "query routed to wrong balancer");
     const Time now = sim_->now();
+    query->routed_at = now;
     rate_.record(now);
     if (observer_)
         observer_->onArrival(*query);
@@ -79,6 +80,13 @@ LoadBalancer::submit(Query* query)
         if (qps > planned_capacity_ * alarm_threshold_ &&
             (last_alarm_ == kNoTime || now - last_alarm_ > seconds(1.0))) {
             last_alarm_ = now;
+            if (tracer_) {
+                obs::SpanRecord s;
+                s.kind = obs::SpanKind::Alarm;
+                s.start = s.end = now;
+                s.a = family_;
+                tracer_->record(s);
+            }
             alarm_();
         }
     }
@@ -91,6 +99,8 @@ LoadBalancer::submit(Query* query)
         query->status = QueryStatus::Dropped;
         query->completion = now;
         ++shed_;
+        if (tracer_)
+            traceQueryEnd(tracer_, *query);
         if (observer_)
             observer_->onFinished(*query);
         return;
@@ -99,6 +109,15 @@ LoadBalancer::submit(Query* query)
     Worker* worker = pickWorker();
     PROTEUS_ASSERT(worker != nullptr, "no routing target");
     ++routed_;
+    if (tracer_) {
+        obs::SpanRecord s;
+        s.kind = obs::SpanKind::Route;
+        s.start = query->arrival;
+        s.end = now;
+        s.id = query->id;
+        s.a = family_;
+        tracer_->record(s);
+    }
     worker->enqueue(query);
 }
 
@@ -113,6 +132,8 @@ LoadBalancer::resubmit(Query* query)
         query->status = QueryStatus::Dropped;
         query->completion = sim_->now();
         ++shed_;
+        if (tracer_)
+            traceQueryEnd(tracer_, *query);
         if (observer_)
             observer_->onFinished(*query);
         return;

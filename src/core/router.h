@@ -22,6 +22,7 @@
 #include "common/types.h"
 #include "core/query.h"
 #include "core/worker.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace proteus {
@@ -59,6 +60,9 @@ class LoadBalancer
     /** Set the alarm target and threshold for burst detection. */
     void setBurstAlarm(BurstAlarmFn alarm, double threshold);
 
+    /** Attach the span tracer (nullptr = tracing off, the default). */
+    void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
     /**
      * Capacity the current plan provisions for this family (QPS);
      * used by the monitor to detect overload.
@@ -80,6 +84,7 @@ class LoadBalancer
     Simulator* sim_;
     FamilyId family_;
     QueryObserver* observer_;
+    obs::Tracer* tracer_ = nullptr;
 
     struct Target {
         Worker* worker = nullptr;

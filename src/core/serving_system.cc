@@ -60,6 +60,12 @@ ServingSystem::ServingSystem(const Cluster* cluster,
 {
     allocator_ = makeAllocator();
 
+    // Observability: one tracer for the whole system, created only
+    // when enabled so every hook below degrades to a null-pointer
+    // test on the hot path.
+    if (config_.obs.enabled)
+        tracer_ = std::make_unique<obs::Tracer>(config_.obs.ring_capacity);
+
     // One worker per device. Requeued queries (variant swaps, stale
     // routing) are re-submitted through the family's load balancer on
     // the next simulator step to avoid same-instant routing loops.
@@ -71,6 +77,8 @@ ServingSystem::ServingSystem(const Cluster* cluster,
                 if (sim_.now() > q->deadline) {
                     q->status = QueryStatus::Dropped;
                     q->completion = sim_.now();
+                    if (tracer_)
+                        traceQueryEnd(tracer_.get(), *q);
                     metrics_.onFinished(*q);
                     return;
                 }
@@ -83,6 +91,7 @@ ServingSystem::ServingSystem(const Cluster* cluster,
             &metrics_, requeue, config_.latency_jitter_frac,
             config_.seed);
         worker->setBatchingPolicy(makeBatchingPolicy());
+        worker->setTracer(tracer_.get());
         worker->setHealthTracker(&health_);
         worker->setLoadFailureAlarm([this](DeviceId) {
             // A failed load leaves planned capacity unhosted: replan.
@@ -95,6 +104,7 @@ ServingSystem::ServingSystem(const Cluster* cluster,
     for (FamilyId f = 0; f < registry_->numFamilies(); ++f) {
         auto lb = std::make_unique<LoadBalancer>(
             &sim_, f, &metrics_, config_.monitor_window);
+        lb->setTracer(tracer_.get());
         balancers_.push_back(std::move(lb));
     }
 
@@ -105,6 +115,9 @@ ServingSystem::ServingSystem(const Cluster* cluster,
 
     controller_->setAvailabilityProbe(
         [this] { return health_.downMask(); });
+
+    if (config_.obs.enabled)
+        controller_->setObs(tracer_.get(), &obs_registry_);
 
     for (auto& lb : balancers_) {
         lb->setBurstAlarm([this] { controller_->requestReallocation(); },
@@ -320,10 +333,26 @@ ServingSystem::run(const Trace& trace,
         if (!q.finished()) {
             q.status = QueryStatus::Dropped;
             q.completion = sim_.now();
+            if (tracer_)
+                traceQueryEnd(tracer_.get(), q);
             metrics_.onFinished(q);
         }
     }
     metrics_.finalize();
+
+    // End-of-run registry summary (counters are deterministic; the
+    // wall-time histograms were fed live by the controller).
+    if (config_.obs.enabled) {
+        const RunSummary& sum = metrics_.summary();
+        obs_registry_.counter("queries.arrivals")->inc(sum.arrivals);
+        obs_registry_.counter("queries.served")->inc(sum.served);
+        obs_registry_.counter("queries.served_late")->inc(sum.served_late);
+        obs_registry_.counter("queries.dropped")->inc(sum.dropped);
+        obs_registry_.gauge("trace.spans_recorded")
+            ->set(tracer_ ? static_cast<double>(tracer_->recorded()) : 0.0);
+        obs_registry_.gauge("trace.spans_dropped")
+            ->set(tracer_ ? static_cast<double>(tracer_->dropped()) : 0.0);
+    }
 
     RunResult result;
     result.summary = metrics_.summary();

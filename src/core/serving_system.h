@@ -35,6 +35,8 @@
 #include "models/cost_model.h"
 #include "models/model.h"
 #include "models/profiler.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "workload/trace.h"
 
@@ -100,6 +102,18 @@ class ServingSystem
     /** @return the fault injector (nullptr on fault-free runs). */
     const FaultInjector* faultInjector() const { return injector_.get(); }
 
+    /**
+     * @return the span tracer, or nullptr when tracing is disabled
+     * (SystemConfig::obs.enabled unset).
+     */
+    const obs::Tracer* tracer() const { return tracer_.get(); }
+
+    /** @return the metrics registry (always present; empty if off). */
+    const obs::MetricsRegistry& metricsRegistry() const
+    {
+        return obs_registry_;
+    }
+
   private:
     void applyPlan(const Allocation& plan);
     std::unique_ptr<BatchingPolicy> makeBatchingPolicy() const;
@@ -114,6 +128,8 @@ class ServingSystem
     CostModel cost_;
     ProfileStore profiles_;
     MetricsCollector metrics_;
+    obs::MetricsRegistry obs_registry_;
+    std::unique_ptr<obs::Tracer> tracer_;
 
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::unique_ptr<LoadBalancer>> balancers_;

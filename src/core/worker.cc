@@ -42,6 +42,8 @@ Worker::bounce(Query* query)
     query->completion = sim_->now();
     query->served_by = device_;
     ++dropped_;
+    if (tracer_)
+        traceQueryEnd(tracer_, *query);
     if (observer_)
         observer_->onFinished(*query);
 }
@@ -102,10 +104,21 @@ Worker::hostVariant(std::optional<VariantId> variant, bool instant)
         });
         return;
     }
-    sim_->scheduleAfter(load, [this, epoch] {
+    const Time load_start = sim_->now();
+    sim_->scheduleAfter(load, [this, epoch, load_start] {
         if (epoch != load_epoch_)
             return;  // superseded by a newer hostVariant()
         loading_ = false;
+        if (tracer_ && target_) {
+            obs::SpanRecord s;
+            s.kind = obs::SpanKind::Load;
+            s.start = load_start;
+            s.end = sim_->now();
+            s.id = load_epoch_;
+            s.a = device_;
+            s.b = *target_;
+            tracer_->record(s);
+        }
         if (health_)
             health_->markUp(device_);
         evaluate();
@@ -177,6 +190,7 @@ Worker::enqueue(Query* query)
         bounce(query);
         return;
     }
+    query->enqueued_at = sim_->now();
     queue_.push_back(query);
     if (!busy_ && !loading_)
         evaluate();
@@ -222,6 +236,8 @@ Worker::dropFront(int count)
         q->completion = sim_->now();
         q->served_by = device_;
         ++dropped_;
+        if (tracer_)
+            traceQueryEnd(tracer_, *q);
         if (observer_)
             observer_->onFinished(*q);
     }
@@ -282,11 +298,25 @@ Worker::executeBatch(int count)
     PROTEUS_ASSERT(count <= static_cast<int>(prof.latency.size()),
                    "batch beyond profiled range");
 
+    const Time now = sim_->now();
     std::vector<Query*> batch;
     batch.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i) {
-        batch.push_back(queue_.front());
+        Query* q = queue_.front();
         queue_.pop_front();
+        q->exec_start = now;
+        if (tracer_) {
+            obs::SpanRecord s;
+            s.kind = obs::SpanKind::Queue;
+            s.start = q->enqueued_at;
+            s.end = now;
+            s.id = q->id;
+            s.a = q->family;
+            s.b = *target_;
+            s.v0 = device_;
+            tracer_->record(s);
+        }
+        batch.push_back(q);
     }
 
     Duration lat = prof.latencyFor(count);
@@ -331,8 +361,31 @@ Worker::finishBatch(VariantId executed_variant,
                                        : QueryStatus::ServedLate;
         any_violation |= q->status == QueryStatus::ServedLate;
         ++served_;
+        if (tracer_) {
+            obs::SpanRecord s;
+            s.kind = obs::SpanKind::Exec;
+            s.start = q->exec_start;
+            s.end = now;
+            s.id = q->id;
+            s.a = q->family;
+            s.b = executed_variant;
+            s.v0 = device_;
+            tracer_->record(s);
+            traceQueryEnd(tracer_, *q, executed_variant);
+        }
         if (observer_)
             observer_->onFinished(*q);
+    }
+    if (tracer_) {
+        obs::SpanRecord s;
+        s.kind = obs::SpanKind::Batch;
+        s.start = batch.front()->exec_start;
+        s.end = now;
+        s.id = batches_;
+        s.a = device_;
+        s.b = executed_variant;
+        s.v0 = static_cast<std::int64_t>(batch.size());
+        tracer_->record(s);
     }
     if (policy_) {
         policy_->onBatchOutcome(static_cast<int>(batch.size()),

@@ -28,6 +28,7 @@
 #include "core/query.h"
 #include "models/cost_model.h"
 #include "models/profiler.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace proteus {
@@ -55,6 +56,9 @@ class Worker
 
     /** Install the batching policy (worker-owned). */
     void setBatchingPolicy(std::unique_ptr<BatchingPolicy> policy);
+
+    /** Attach the span tracer (nullptr = tracing off, the default). */
+    void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
     /**
      * Attach the cluster health tracker (optional). The worker marks
@@ -174,6 +178,7 @@ class Worker
     const ProfileStore* profiles_;
     QueryObserver* observer_;
     RequeueFn requeue_;
+    obs::Tracer* tracer_ = nullptr;
     double jitter_frac_;
     Rng rng_;
 

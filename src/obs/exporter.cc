@@ -1,0 +1,263 @@
+#include "obs/exporter.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace proteus {
+namespace obs {
+
+namespace {
+
+/** Process-id lanes grouping the trace tracks in the viewer. */
+enum : int { kPidQueries = 1, kPidWorkers = 2, kPidController = 3 };
+
+void
+appendU64(std::string* out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    *out += buf;
+}
+
+void
+appendI64(std::string* out, std::int64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    *out += buf;
+}
+
+void
+appendArg(std::string* out, const char* key, std::int64_t v,
+          bool* first)
+{
+    if (!*first)
+        *out += ',';
+    *first = false;
+    *out += '"';
+    *out += key;
+    *out += "\":";
+    appendI64(out, v);
+}
+
+/** Append the kind-specific args object of @p s. */
+void
+appendArgs(std::string* out, const SpanRecord& s)
+{
+    bool first = true;
+    *out += "\"args\":{";
+    switch (s.kind) {
+      case SpanKind::Query:
+        appendArg(out, "qid", static_cast<std::int64_t>(s.id), &first);
+        appendArg(out, "family", s.a, &first);
+        appendArg(out, "variant",
+                  s.b == kInvalidId ? -1 : static_cast<std::int64_t>(s.b),
+                  &first);
+        appendArg(out, "status", s.v0, &first);
+        appendArg(out, "device", s.v1, &first);
+        break;
+      case SpanKind::Route:
+        appendArg(out, "qid", static_cast<std::int64_t>(s.id), &first);
+        appendArg(out, "family", s.a, &first);
+        break;
+      case SpanKind::Queue:
+      case SpanKind::Exec:
+        appendArg(out, "qid", static_cast<std::int64_t>(s.id), &first);
+        appendArg(out, "family", s.a, &first);
+        appendArg(out, "variant",
+                  s.b == kInvalidId ? -1 : static_cast<std::int64_t>(s.b),
+                  &first);
+        appendArg(out, "device", s.v0, &first);
+        break;
+      case SpanKind::Batch:
+        appendArg(out, "batch", static_cast<std::int64_t>(s.id), &first);
+        appendArg(out, "device", s.a, &first);
+        appendArg(out, "variant", s.b, &first);
+        appendArg(out, "size", s.v0, &first);
+        break;
+      case SpanKind::Load:
+        appendArg(out, "device", s.a, &first);
+        appendArg(out, "variant", s.b, &first);
+        break;
+      case SpanKind::Solve:
+        appendArg(out, "decision", static_cast<std::int64_t>(s.id),
+                  &first);
+        appendArg(out, "nodes", s.v0, &first);
+        appendArg(out, "simplex_iters", s.v1, &first);
+        appendArg(out, "gap_ppm", s.v2, &first);
+        break;
+      case SpanKind::Apply:
+        appendArg(out, "decision", static_cast<std::int64_t>(s.id),
+                  &first);
+        appendArg(out, "plans", s.v0, &first);
+        break;
+      case SpanKind::Alarm:
+        appendArg(out, "family", s.a, &first);
+        break;
+    }
+    *out += '}';
+}
+
+/** Viewer lane of @p s: queries by family, work by device. */
+void
+appendPidTid(std::string* out, const SpanRecord& s)
+{
+    int pid = kPidController;
+    std::int64_t tid = 0;
+    switch (s.kind) {
+      case SpanKind::Query:
+      case SpanKind::Route:
+        pid = kPidQueries;
+        tid = s.a;
+        break;
+      case SpanKind::Queue:
+      case SpanKind::Exec:
+        pid = kPidWorkers;
+        tid = s.v0;
+        break;
+      case SpanKind::Batch:
+      case SpanKind::Load:
+        pid = kPidWorkers;
+        tid = s.a;
+        break;
+      case SpanKind::Solve:
+      case SpanKind::Apply:
+        pid = kPidController;
+        tid = 0;
+        break;
+      case SpanKind::Alarm:
+        pid = kPidController;
+        tid = 1;
+        break;
+    }
+    *out += "\"pid\":";
+    appendI64(out, pid);
+    *out += ",\"tid\":";
+    appendI64(out, tid);
+}
+
+}  // namespace
+
+std::string
+toChromeTraceJson(const Tracer& tracer)
+{
+    std::string out;
+    out.reserve(tracer.size() * 128 + 256);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first_event = true;
+    for (const SpanRecord& s : tracer.spans()) {
+        if (!first_event)
+            out += ',';
+        first_event = false;
+        out += "{\"name\":\"";
+        out += toString(s.kind);
+        out += "\",\"cat\":\"proteus\",\"ph\":\"X\",\"ts\":";
+        appendI64(&out, s.start);
+        out += ",\"dur\":";
+        appendI64(&out, s.end - s.start);
+        out += ',';
+        appendPidTid(&out, s);
+        out += ',';
+        appendArgs(&out, s);
+        out += '}';
+    }
+    out += "],\"otherData\":{\"spans_recorded\":";
+    appendU64(&out, tracer.recorded());
+    out += ",\"spans_dropped\":";
+    appendU64(&out, tracer.dropped());
+    out += "}}";
+    return out;
+}
+
+bool
+writeChromeTrace(const Tracer& tracer, const std::string& path)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    const std::string doc = toChromeTraceJson(tracer);
+    f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    return static_cast<bool>(f);
+}
+
+namespace {
+
+void
+appendDouble(std::string* out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    *out += buf;
+}
+
+}  // namespace
+
+std::string
+toMetricsJson(const MetricsRegistry& registry)
+{
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : registry.counters()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += name;
+        out += "\":";
+        appendU64(&out, c->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : registry.gauges()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += name;
+        out += "\":";
+        appendDouble(&out, g->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : registry.histograms()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += name;
+        out += "\":{\"count\":";
+        appendU64(&out, h->count());
+        out += ",\"sum\":";
+        appendDouble(&out, h->sum());
+        out += ",\"min\":";
+        appendDouble(&out, h->min());
+        out += ",\"mean\":";
+        appendDouble(&out, h->mean());
+        out += ",\"max\":";
+        appendDouble(&out, h->max());
+        out += ",\"p50\":";
+        appendDouble(&out, h->p50());
+        out += ",\"p95\":";
+        appendDouble(&out, h->p95());
+        out += ",\"p99\":";
+        appendDouble(&out, h->p99());
+        out += '}';
+    }
+    out += "}}";
+    return out;
+}
+
+bool
+writeMetricsJson(const MetricsRegistry& registry, const std::string& path)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    const std::string doc = toMetricsJson(registry);
+    f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    return static_cast<bool>(f);
+}
+
+}  // namespace obs
+}  // namespace proteus

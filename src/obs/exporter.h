@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trace and metrics exporters (DESIGN.md, "Observability"):
+ *
+ *  - Chrome trace-event JSON (loadable in chrome://tracing and
+ *    Perfetto): one complete ("X") event per span, timestamped in
+ *    simulated microseconds. The output contains only integer fields
+ *    derived from simulated time and deterministic counters, so it is
+ *    byte-identical across runs with the same seed.
+ *  - Plain-JSON metrics dump of a MetricsRegistry (counters, gauges,
+ *    histogram summaries with p50/p95/p99).
+ */
+
+#ifndef PROTEUS_OBS_EXPORTER_H_
+#define PROTEUS_OBS_EXPORTER_H_
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace proteus {
+namespace obs {
+
+/** @return the Chrome trace-event JSON document for @p tracer. */
+std::string toChromeTraceJson(const Tracer& tracer);
+
+/**
+ * Write toChromeTraceJson(@p tracer) to @p path.
+ * @return false when the file cannot be written.
+ */
+bool writeChromeTrace(const Tracer& tracer, const std::string& path);
+
+/** @return a JSON dump of every metric in @p registry. */
+std::string toMetricsJson(const MetricsRegistry& registry);
+
+/**
+ * Write toMetricsJson(@p registry) to @p path.
+ * @return false when the file cannot be written.
+ */
+bool writeMetricsJson(const MetricsRegistry& registry,
+                      const std::string& path);
+
+}  // namespace obs
+}  // namespace proteus
+
+#endif  // PROTEUS_OBS_EXPORTER_H_

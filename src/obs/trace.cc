@@ -1,0 +1,51 @@
+#include "obs/trace.h"
+
+#include "common/logging.h"
+
+namespace proteus {
+namespace obs {
+
+const char*
+toString(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Query: return "query";
+      case SpanKind::Route: return "route";
+      case SpanKind::Queue: return "queue";
+      case SpanKind::Exec: return "exec";
+      case SpanKind::Batch: return "batch";
+      case SpanKind::Load: return "load";
+      case SpanKind::Solve: return "solve";
+      case SpanKind::Apply: return "apply";
+      case SpanKind::Alarm: return "alarm";
+    }
+    return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity)
+{
+    PROTEUS_ASSERT(capacity >= 1, "tracer capacity must be >= 1");
+    ring_.resize(capacity);
+}
+
+std::vector<SpanRecord>
+Tracer::spans() const
+{
+    std::vector<SpanRecord> out;
+    out.reserve(size());
+    if (recorded_ <= ring_.size()) {
+        out.assign(ring_.begin(),
+                   ring_.begin() + static_cast<std::ptrdiff_t>(size()));
+        return out;
+    }
+    // Full ring: oldest span sits at the next write position.
+    out.insert(out.end(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+    return out;
+}
+
+}  // namespace obs
+}  // namespace proteus

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Per-query span tracing (DESIGN.md, "Observability").
+ *
+ * A span is one timed stage of work on the simulated timeline: a
+ * query's route/queue/execution stages, one executed batch, a model
+ * load, or a controller decision. Spans are fixed-size records written
+ * into a preallocated ring buffer — recording never allocates, and all
+ * payloads are integers keyed by simulated time, so the trace of a run
+ * is byte-identical across repetitions with the same seed.
+ *
+ * The tracer is off by default: every instrumented component holds a
+ * `Tracer*` that is nullptr unless ObsOptions::enabled is set, so the
+ * disabled hot path costs one pointer test.
+ */
+
+#ifndef PROTEUS_OBS_TRACE_H_
+#define PROTEUS_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace proteus {
+namespace obs {
+
+/** Observability configuration carried inside SystemConfig. */
+struct ObsOptions {
+    /** Master switch: span tracing + registry instrumentation. */
+    bool enabled = false;
+    /** Ring-buffer capacity in spans (oldest overwritten on wrap). */
+    std::size_t ring_capacity = 1 << 16;
+};
+
+/**
+ * The kind of work a span covers. Kinds form the nesting hierarchy:
+ * Route/Queue/Exec spans of a query nest inside its Query span (same
+ * id); Exec spans nest inside the Batch span of the executing device;
+ * Solve/Apply spans belong to one controller decision (same id).
+ */
+enum class SpanKind : std::uint8_t {
+    Query,  ///< arrival → terminal state; a=family, b=variant, v0=status, v1=device
+    Route,  ///< arrival → admission at the router; a=family
+    Queue,  ///< worker enqueue → batch formation (or drop); a=family, b=variant, v0=device
+    Exec,   ///< batch start → completion, per query; a=family, b=variant, v0=device
+    Batch,  ///< one executed batch; a=device, b=variant, v0=batch size
+    Load,   ///< model load on a device; a=device, b=variant
+    Solve,  ///< decision compute → plan ready; v0=B&B nodes, v1=simplex iters, v2=gap ppm
+    Apply,  ///< instant: a plan took effect; v0=plans applied so far
+    Alarm,  ///< instant: burst alarm raised by a monitor; a=family
+};
+
+/** @return a short stable name for @p kind ("query", "queue", ...). */
+const char* toString(SpanKind kind);
+
+/**
+ * One recorded span. Fixed-size, trivially copyable; field meaning is
+ * kind-specific (see SpanKind). Unused fields keep their defaults.
+ */
+struct SpanRecord {
+    Time start = 0;
+    Time end = 0;
+    std::uint64_t id = 0;  ///< query id, batch number or decision number
+    std::int64_t v0 = 0;
+    std::int64_t v1 = 0;
+    std::int64_t v2 = 0;
+    std::uint32_t a = kInvalidId;
+    std::uint32_t b = kInvalidId;
+    SpanKind kind = SpanKind::Query;
+
+    /** @return span length on the simulated timeline. */
+    Duration duration() const { return end - start; }
+
+    /** @return true when @p inner lies within this span's interval. */
+    bool
+    contains(const SpanRecord& inner) const
+    {
+        return start <= inner.start && inner.end <= end;
+    }
+};
+
+/**
+ * Preallocated span ring buffer. Recording is O(1), allocation-free
+ * and deterministic; once full, the oldest span is overwritten and
+ * counted as dropped.
+ */
+class Tracer
+{
+  public:
+    /** @param capacity ring size in spans (>= 1). */
+    explicit Tracer(std::size_t capacity);
+
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /** Append one span (overwrites the oldest when full). */
+    void
+    record(const SpanRecord& span)
+    {
+        ring_[next_] = span;
+        next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+        ++recorded_;
+    }
+
+    /** @return every retained span, oldest first (unwraps the ring). */
+    std::vector<SpanRecord> spans() const;
+
+    /** @return total record() calls over the tracer's lifetime. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** @return spans lost to ring wraparound. */
+    std::uint64_t
+    dropped() const
+    {
+        return recorded_ > ring_.size()
+                   ? recorded_ - ring_.size()
+                   : 0;
+    }
+
+    /** @return spans currently retained. */
+    std::size_t
+    size() const
+    {
+        return recorded_ < ring_.size()
+                   ? static_cast<std::size_t>(recorded_)
+                   : ring_.size();
+    }
+
+    /** @return ring capacity in spans. */
+    std::size_t capacity() const { return ring_.size(); }
+
+  private:
+    std::vector<SpanRecord> ring_;
+    std::size_t next_ = 0;
+    std::uint64_t recorded_ = 0;
+};
+
+}  // namespace obs
+}  // namespace proteus
+
+#endif  // PROTEUS_OBS_TRACE_H_

@@ -7,6 +7,22 @@
 
 namespace proteus {
 
+Simulator::Simulator()
+{
+    // Make log output attributable to a point on the virtual
+    // timeline. With several simulators alive the newest wins; the
+    // clear below is owner-checked so a dying old one never unhooks it.
+    setLogTimeSource(this, [](const void* owner) {
+        return toSeconds(
+            static_cast<const Simulator*>(owner)->now());
+    });
+}
+
+Simulator::~Simulator()
+{
+    clearLogTimeSource(this);
+}
+
 EventId
 Simulator::push(Time at, Callback cb)
 {

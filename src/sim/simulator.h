@@ -42,7 +42,8 @@ class Simulator
   public:
     using Callback = std::function<void()>;
 
-    Simulator() = default;
+    Simulator();
+    ~Simulator();
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
 

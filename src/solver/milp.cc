@@ -62,7 +62,14 @@ MilpSolver::solve(const LinearProgram& lp,
     // All bounds below are handled in "maximize" orientation.
     auto orient = [&](double v) { return maximize ? v : -v; };
 
+    stats_ = Stats{};
     SimplexSolver lp_solver(options_.lp);
+    auto solveLp = [&](const Bounds* bounds) {
+        Solution s = lp_solver.solve(lp, bounds);
+        ++stats_.lp_solves;
+        stats_.simplex_iterations += s.work;
+        return s;
+    };
 
     Bounds root_bounds;
     root_bounds.reserve(lp.numVariables());
@@ -125,6 +132,7 @@ MilpSolver::solve(const LinearProgram& lp,
             best.x = s.x;
             best.objective = s.objective;
             best.status = SolveStatus::Feasible;
+            ++stats_.incumbents;
         }
     };
 
@@ -139,7 +147,7 @@ MilpSolver::solve(const LinearProgram& lp,
             v = std::clamp(v, node_bounds[j].first, node_bounds[j].second);
             fixed[j] = {v, v};
         }
-        Solution s = lp_solver.solve(lp, &fixed);
+        Solution s = solveLp(&fixed);
         if (s.status == SolveStatus::Optimal)
             offerIncumbent(s);
     };
@@ -192,7 +200,7 @@ MilpSolver::solve(const LinearProgram& lp,
                 }
                 Bounds trial = bounds;
                 trial[j] = {v, v};
-                Solution s = lp_solver.solve(lp, &trial);
+                Solution s = solveLp(&trial);
                 if (s.status != SolveStatus::Optimal)
                     continue;
                 bounds = std::move(trial);
@@ -222,7 +230,7 @@ MilpSolver::solve(const LinearProgram& lp,
         }
         ++nodes;
 
-        Solution relax = lp_solver.solve(lp, &node.bounds);
+        Solution relax = solveLp(&node.bounds);
         if (relax.status == SolveStatus::Infeasible) {
             if (nodes == 1)
                 root_infeasible = true;
@@ -254,6 +262,7 @@ MilpSolver::solve(const LinearProgram& lp,
                 best.x = relax.x;
                 best.objective = relax.objective;
                 best.status = SolveStatus::Feasible;
+                ++stats_.incumbents;
             }
             continue;
         }
@@ -281,9 +290,15 @@ MilpSolver::solve(const LinearProgram& lp,
     }
 
     best.work = nodes;
+    stats_.nodes = nodes;
+    auto finish = [&]() {
+        stats_.wall_seconds = std::chrono::duration<double>(
+            Clock::now() - t_start).count();
+    };
 
     if (root_unbounded) {
         best.status = SolveStatus::Unbounded;
+        finish();
         return best;
     }
 
@@ -300,11 +315,13 @@ MilpSolver::solve(const LinearProgram& lp,
         best.bound = maximize ? dual : -dual;
         double gap = std::abs(dual - incumbent) /
                      std::max(1.0, std::abs(incumbent));
+        stats_.gap = gap;
         if (!hit_node_limit && !hit_time_limit) {
             best.status = SolveStatus::Optimal;
         } else if (gap <= options_.gap_tol) {
             best.status = SolveStatus::Optimal;
         }
+        finish();
         return best;
     }
 
@@ -316,6 +333,7 @@ MilpSolver::solve(const LinearProgram& lp,
         best.status = SolveStatus::Infeasible;
         (void)root_infeasible;
     }
+    finish();
     return best;
 }
 

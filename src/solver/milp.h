@@ -43,9 +43,32 @@ class MilpSolver
         SimplexSolver::Options lp;
     };
 
+    /**
+     * Instrumentation of the most recent solve() call, feeding the
+     * observability layer's solver spans (DESIGN.md,
+     * "Observability"): where a slow solve spent its effort.
+     */
+    struct Stats {
+        /** Branch-and-bound nodes expanded. */
+        std::int64_t nodes = 0;
+        /** LP relaxations solved (nodes + heuristic solves). */
+        std::int64_t lp_solves = 0;
+        /** Simplex iterations summed over all LP solves. */
+        std::int64_t simplex_iterations = 0;
+        /** Incumbents accepted (warm start, heuristics, search). */
+        int incumbents = 0;
+        /** Final relative incumbent/dual-bound gap (0 when proven). */
+        double gap = 0.0;
+        /** Wall-clock time of the solve in seconds. */
+        double wall_seconds = 0.0;
+    };
+
     MilpSolver() : options_() {}
 
     explicit MilpSolver(const Options& options) : options_(options) {}
+
+    /** @return instrumentation of the most recent solve(). */
+    const Stats& lastStats() const { return stats_; }
 
     /**
      * Solve @p lp to proven optimality (within the configured gap)
@@ -64,6 +87,7 @@ class MilpSolver
 
   private:
     Options options_;
+    Stats stats_;
 };
 
 }  // namespace proteus

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Logging: verbosity gating and the simulated-time prefix added when a
+ * simulator registers itself as the log time source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace proteus {
+namespace {
+
+/** Capture std::cerr and the log level for one test's lifetime. */
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_level_ = logLevel();
+        saved_buf_ = std::cerr.rdbuf(captured_.rdbuf());
+    }
+
+    void
+    TearDown() override
+    {
+        std::cerr.rdbuf(saved_buf_);
+        setLogLevel(saved_level_);
+    }
+
+    std::string output() const { return captured_.str(); }
+
+    std::ostringstream captured_;
+    std::streambuf* saved_buf_ = nullptr;
+    LogLevel saved_level_ = LogLevel::Warn;
+};
+
+TEST_F(LoggingTest, InfoSuppressedAtWarnLevel)
+{
+    setLogLevel(LogLevel::Warn);
+    inform("hidden");
+    warn("visible");
+    EXPECT_EQ(output().find("hidden"), std::string::npos);
+    EXPECT_NE(output().find("[warn] visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SimulatorTimePrefixesMessages)
+{
+    setLogLevel(LogLevel::Info);
+    Simulator sim;
+    inform("at start");
+    sim.scheduleAt(seconds(1.5), [] { inform("mid run"); });
+    sim.run();
+    EXPECT_NE(output().find("[info] @0.000s at start"),
+              std::string::npos);
+    EXPECT_NE(output().find("[info] @1.500s mid run"),
+              std::string::npos);
+}
+
+TEST_F(LoggingTest, DestroyedSimulatorStopsPrefixing)
+{
+    setLogLevel(LogLevel::Info);
+    {
+        Simulator sim;
+    }
+    inform("untimed");
+    EXPECT_NE(output().find("[info] untimed"), std::string::npos);
+    EXPECT_EQ(output().find('@'), std::string::npos);
+}
+
+TEST_F(LoggingTest, OldSimulatorDestructionKeepsNewerClock)
+{
+    setLogLevel(LogLevel::Info);
+    auto older = std::make_unique<Simulator>();
+    Simulator newer;
+    older.reset();  // must not unhook `newer`
+    inform("still timed");
+    EXPECT_NE(output().find("[info] @0.000s still timed"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace proteus

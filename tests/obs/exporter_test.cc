@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Exporters: the Chrome trace-event JSON and the metrics dump must be
+ * well-formed (parseable by the in-tree JSON parser) and carry the
+ * kind-specific fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/exporter.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace proteus {
+namespace obs {
+namespace {
+
+TEST(ChromeTraceExport, EmptyTracerProducesValidDocument)
+{
+    Tracer t(8);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(toChromeTraceJson(t), &doc, &error)) << error;
+    EXPECT_EQ(doc.at("traceEvents").asArray().size(), 0u);
+    EXPECT_DOUBLE_EQ(
+        doc.at("otherData").numberOr("spans_recorded", -1.0), 0.0);
+}
+
+TEST(ChromeTraceExport, EventsCarryKindSpecificArgs)
+{
+    Tracer t(8);
+
+    SpanRecord q;
+    q.kind = SpanKind::Query;
+    q.start = 1000;
+    q.end = 5000;
+    q.id = 7;
+    q.a = 2;        // family
+    q.b = 4;        // variant
+    q.v0 = 1;       // status = Served
+    q.v1 = 3;       // device
+    t.record(q);
+
+    SpanRecord solve;
+    solve.kind = SpanKind::Solve;
+    solve.start = 0;
+    solve.end = 4'200'000;
+    solve.id = 1;
+    solve.v0 = 12;   // nodes
+    solve.v1 = 345;  // simplex iterations
+    solve.v2 = 5000; // gap ppm
+    t.record(solve);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(toChromeTraceJson(t), &doc, &error)) << error;
+    const auto& events = doc.at("traceEvents").asArray();
+    ASSERT_EQ(events.size(), 2u);
+
+    const JsonValue& jq = events[0];
+    EXPECT_EQ(jq.stringOr("name", ""), "query");
+    EXPECT_EQ(jq.stringOr("ph", ""), "X");
+    EXPECT_DOUBLE_EQ(jq.numberOr("ts", -1.0), 1000.0);
+    EXPECT_DOUBLE_EQ(jq.numberOr("dur", -1.0), 4000.0);
+    const JsonValue& qargs = jq.at("args");
+    EXPECT_DOUBLE_EQ(qargs.numberOr("qid", -1.0), 7.0);
+    EXPECT_DOUBLE_EQ(qargs.numberOr("family", -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(qargs.numberOr("variant", -2.0), 4.0);
+    EXPECT_DOUBLE_EQ(qargs.numberOr("status", -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(qargs.numberOr("device", -1.0), 3.0);
+
+    const JsonValue& js = events[1];
+    EXPECT_EQ(js.stringOr("name", ""), "solve");
+    const JsonValue& sargs = js.at("args");
+    EXPECT_DOUBLE_EQ(sargs.numberOr("nodes", -1.0), 12.0);
+    EXPECT_DOUBLE_EQ(sargs.numberOr("simplex_iters", -1.0), 345.0);
+    EXPECT_DOUBLE_EQ(sargs.numberOr("gap_ppm", -1.0), 5000.0);
+
+    EXPECT_DOUBLE_EQ(
+        doc.at("otherData").numberOr("spans_recorded", -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(
+        doc.at("otherData").numberOr("spans_dropped", -1.0), 0.0);
+}
+
+TEST(ChromeTraceExport, UnknownVariantSerializesAsMinusOne)
+{
+    Tracer t(2);
+    SpanRecord q;
+    q.kind = SpanKind::Query;
+    q.start = 0;
+    q.end = 10;
+    q.id = 1;
+    q.a = 0;
+    q.b = kInvalidId;  // dropped before any variant served it
+    q.v0 = 3;          // status = Dropped
+    q.v1 = -1;
+    t.record(q);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(toChromeTraceJson(t), &doc, &error)) << error;
+    const JsonValue& args = doc.at("traceEvents").asArray()[0].at("args");
+    EXPECT_DOUBLE_EQ(args.numberOr("variant", 0.0), -1.0);
+    EXPECT_DOUBLE_EQ(args.numberOr("device", 0.0), -1.0);
+}
+
+TEST(MetricsExport, DumpsAllThreeMetricFamilies)
+{
+    MetricsRegistry reg;
+    reg.counter("queries.served")->inc(42);
+    reg.gauge("capacity.qps")->set(1234.5);
+    Histogram* h = reg.histogram("solver.wall_us");
+    h->record(100.0);
+    h->record(200.0);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(toMetricsJson(reg), &doc, &error)) << error;
+    EXPECT_DOUBLE_EQ(
+        doc.at("counters").numberOr("queries.served", -1.0), 42.0);
+    EXPECT_DOUBLE_EQ(
+        doc.at("gauges").numberOr("capacity.qps", -1.0), 1234.5);
+    const JsonValue& jh = doc.at("histograms").at("solver.wall_us");
+    EXPECT_DOUBLE_EQ(jh.numberOr("count", -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(jh.numberOr("sum", -1.0), 300.0);
+    EXPECT_DOUBLE_EQ(jh.numberOr("min", -1.0), 100.0);
+    EXPECT_DOUBLE_EQ(jh.numberOr("max", -1.0), 200.0);
+    EXPECT_TRUE(jh.has("p50"));
+    EXPECT_TRUE(jh.has("p95"));
+    EXPECT_TRUE(jh.has("p99"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace proteus

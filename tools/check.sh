@@ -30,8 +30,21 @@ run_pass() {
     ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
+trace_smoke() {
+    # End-to-end observability smoke: run one bench binary with span
+    # tracing enabled and make sure the trace analyser can read the
+    # result back.
+    local dir="$1"
+    local trace="${dir}/trace_smoke.json"
+    echo "=== trace smoke: fig05_bursty + proteus_trace ==="
+    PROTEUS_TRACE_FILE="${trace}" "${dir}/bench/fig05_bursty" > /dev/null
+    "${dir}/tools/proteus_trace" "${trace}" > /dev/null
+    echo "trace smoke OK (${trace})"
+}
+
 if [[ "${mode}" == "all" || "${mode}" == "plain" ]]; then
     run_pass "plain" build
+    trace_smoke build
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "asan" ]]; then

@@ -7,6 +7,11 @@
  *
  * Usage:
  *   proteus_sim <config.json> [--csv <timeline.csv>] [--quiet]
+ *               [--trace <trace.json>] [--metrics <metrics.json>]
+ *
+ * --trace enables span tracing and writes a Chrome trace-event file
+ * (chrome://tracing / Perfetto); analyse it with proteus_trace.
+ * --metrics dumps the metrics registry as JSON.
  */
 
 #include <fstream>
@@ -22,16 +27,23 @@ main(int argc, char** argv)
     using namespace proteus;
     if (argc < 2) {
         std::cerr << "usage: proteus_sim <config.json> "
-                     "[--csv <timeline.csv>] [--quiet]\n";
+                     "[--csv <timeline.csv>] [--quiet] "
+                     "[--trace <trace.json>] [--metrics <metrics.json>]\n";
         return 2;
     }
     std::string config_path = argv[1];
     std::string csv_path;
+    std::string trace_path;
+    std::string metrics_path;
     bool quiet = false;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--csv" && i + 1 < argc) {
             csv_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -41,6 +53,10 @@ main(int argc, char** argv)
     }
 
     ExperimentSpec spec = loadExperimentFile(config_path);
+    if (!trace_path.empty())
+        spec.trace_path = trace_path;
+    if (!metrics_path.empty())
+        spec.metrics_path = metrics_path;
     std::cout << "allocator: " << toString(spec.config.allocator)
               << "  batching: " << toString(spec.config.batching)
               << "  cluster: " << spec.cluster.numDevices()
@@ -108,5 +124,9 @@ main(int argc, char** argv)
         csv.printCsv(out);
         std::cout << "timeline written to " << csv_path << "\n";
     }
+    if (!spec.trace_path.empty())
+        std::cout << "trace written to " << spec.trace_path << "\n";
+    if (!spec.metrics_path.empty())
+        std::cout << "metrics written to " << spec.metrics_path << "\n";
     return 0;
 }

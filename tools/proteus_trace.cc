@@ -1,0 +1,224 @@
+/**
+ * @file
+ * proteus_trace: offline analyser for the Chrome trace-event files
+ * written by the observability subsystem (proteus_sim --trace, or any
+ * bench binary run with PROTEUS_TRACE_FILE set).
+ *
+ * Prints a per-stage latency breakdown (route wait, queue wait,
+ * execution, end-to-end) with p50/p95/p99 per model variant, the
+ * controller/solver decision summary, and the top-N slowest queries.
+ *
+ * Usage:
+ *   proteus_trace <trace.json> [--top N]
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace {
+
+using proteus::JsonValue;
+
+/** One parsed trace event (times in microseconds). */
+struct Event {
+    std::string name;
+    double ts = 0.0;
+    double dur = 0.0;
+    std::map<std::string, double> args;
+};
+
+double
+argOr(const Event& e, const std::string& key, double fallback)
+{
+    auto it = e.args.find(key);
+    return it == e.args.end() ? fallback : it->second;
+}
+
+std::string
+ms(double us)
+{
+    return proteus::fmtDouble(us / 1000.0, 2);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace proteus;
+    if (argc < 2) {
+        std::cerr << "usage: proteus_trace <trace.json> [--top N]\n";
+        return 2;
+    }
+    const std::string path = argv[1];
+    int top_n = 10;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            top_n = std::max(1, std::atoi(argv[++i]));
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return 2;
+        }
+    }
+
+    JsonValue doc;
+    std::string error;
+    if (!parseJsonFile(path, &doc, &error)) {
+        std::cerr << "cannot parse " << path << ": " << error << "\n";
+        return 1;
+    }
+    if (!doc.isObject() || !doc.has("traceEvents")) {
+        std::cerr << path << " is not a Chrome trace-event file\n";
+        return 1;
+    }
+
+    std::vector<Event> events;
+    for (const JsonValue& je : doc.at("traceEvents").asArray()) {
+        Event e;
+        e.name = je.stringOr("name", "");
+        e.ts = je.numberOr("ts", 0.0);
+        e.dur = je.numberOr("dur", 0.0);
+        if (je.has("args")) {
+            const JsonValue& args = je.at("args");
+            for (const std::string& key : args.keys())
+                e.args[key] = args.at(key).asNumber();
+        }
+        events.push_back(std::move(e));
+    }
+
+    std::cout << "== " << path << ": " << events.size()
+              << " spans";
+    if (doc.has("otherData")) {
+        const JsonValue& other = doc.at("otherData");
+        std::cout << " (recorded "
+                  << static_cast<long long>(
+                         other.numberOr("spans_recorded", 0.0))
+                  << ", dropped "
+                  << static_cast<long long>(
+                         other.numberOr("spans_dropped", 0.0))
+                  << ")";
+    }
+    std::cout << " ==\n\n";
+
+    // Per-variant stage breakdown. Stage durations are grouped by the
+    // variant that served the query: queue/exec spans carry it
+    // directly; route waits and end-to-end times come from the query
+    // span (variant -1 = dropped before execution).
+    struct StageDurations {
+        std::vector<double> route, queue, exec, total;
+    };
+    std::map<long long, StageDurations> by_variant;
+    std::map<long long, long long> route_variant_of_query;
+    std::vector<const Event*> queries;
+    std::vector<double> solve_durs, solve_nodes;
+
+    for (const Event& e : events) {
+        if (e.name == "queue" || e.name == "exec") {
+            long long v =
+                static_cast<long long>(argOr(e, "variant", -1));
+            auto& s = by_variant[v];
+            (e.name == "queue" ? s.queue : s.exec).push_back(e.dur);
+            route_variant_of_query[static_cast<long long>(
+                argOr(e, "qid", -1))] = v;
+        } else if (e.name == "solve") {
+            solve_durs.push_back(e.dur);
+            solve_nodes.push_back(argOr(e, "nodes", 0.0));
+        } else if (e.name == "query") {
+            queries.push_back(&e);
+        }
+    }
+    for (const Event& e : events) {
+        if (e.name == "query") {
+            long long v =
+                static_cast<long long>(argOr(e, "variant", -1));
+            by_variant[v].total.push_back(e.dur);
+        } else if (e.name == "route") {
+            long long qid =
+                static_cast<long long>(argOr(e, "qid", -1));
+            auto it = route_variant_of_query.find(qid);
+            long long v = it == route_variant_of_query.end()
+                              ? -1
+                              : it->second;
+            by_variant[v].route.push_back(e.dur);
+        }
+    }
+
+    const std::vector<double> kPs{50.0, 95.0, 99.0};
+    TextTable stages;
+    stages.setHeader({"variant", "stage", "count", "p50_ms", "p95_ms",
+                      "p99_ms"});
+    for (auto& [variant, s] : by_variant) {
+        struct Row {
+            const char* stage;
+            std::vector<double>* vals;
+        };
+        for (const Row& row :
+             {Row{"route", &s.route}, Row{"queue", &s.queue},
+              Row{"exec", &s.exec}, Row{"total", &s.total}}) {
+            if (row.vals->empty())
+                continue;
+            std::vector<double> p = percentiles(*row.vals, kPs);
+            stages.addRow({variant < 0 ? std::string("(dropped)")
+                                       : std::to_string(variant),
+                           row.stage,
+                           std::to_string(row.vals->size()), ms(p[0]),
+                           ms(p[1]), ms(p[2])});
+        }
+    }
+    std::cout << "-- per-variant stage latency --\n";
+    stages.print(std::cout);
+
+    if (!solve_durs.empty()) {
+        std::vector<double> dp = percentiles(solve_durs, kPs);
+        std::vector<double> np = percentiles(solve_nodes, kPs);
+        std::cout << "\n-- controller decisions --\n"
+                  << "solves: " << solve_durs.size()
+                  << "  solve->apply p50/p95/p99 ms: " << ms(dp[0])
+                  << "/" << ms(dp[1]) << "/" << ms(dp[2])
+                  << "  B&B nodes p50/p99: " << fmtDouble(np[0], 0)
+                  << "/" << fmtDouble(np[2], 0) << "\n";
+    }
+
+    std::sort(queries.begin(), queries.end(),
+              [](const Event* a, const Event* b) {
+                  if (a->dur != b->dur)
+                      return a->dur > b->dur;
+                  return argOr(*a, "qid", 0) < argOr(*b, "qid", 0);
+              });
+    TextTable slow;
+    slow.setHeader({"qid", "family", "variant", "device", "status",
+                    "latency_ms"});
+    const char* kStatus[] = {"pending", "served", "late", "dropped"};
+    int shown = 0;
+    for (const Event* e : queries) {
+        if (shown++ >= top_n)
+            break;
+        int status = static_cast<int>(argOr(*e, "status", 0));
+        slow.addRow({std::to_string(
+                         static_cast<long long>(argOr(*e, "qid", -1))),
+                     std::to_string(static_cast<long long>(
+                         argOr(*e, "family", -1))),
+                     std::to_string(static_cast<long long>(
+                         argOr(*e, "variant", -1))),
+                     std::to_string(static_cast<long long>(
+                         argOr(*e, "device", -1))),
+                     status >= 0 && status <= 3 ? kStatus[status]
+                                                : "?",
+                     ms(e->dur)});
+    }
+    std::cout << "\n-- top " << std::min<std::size_t>(
+                                    static_cast<std::size_t>(top_n),
+                                    queries.size())
+              << " slowest queries --\n";
+    slow.print(std::cout);
+    return 0;
+}
