@@ -47,8 +47,9 @@ main()
                              static_cast<double>(c.arrivals)
                        : 0.0;
         table.addRow({reg.family(f).name,
-                      fmtDouble(c.arrivals / span_s, 1),
-                      fmtDouble(c.completed() / span_s, 1),
+                      fmtDouble(static_cast<double>(c.arrivals) / span_s, 1),
+                      fmtDouble(static_cast<double>(c.completed()) / span_s,
+                                1),
                       fmtPercent(c.effectiveAccuracy(), 2),
                       std::to_string(c.violations()),
                       fmtDouble(vio_ratio, 4)});

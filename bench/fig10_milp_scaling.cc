@@ -8,9 +8,9 @@
  * budget.
  */
 
-#include <chrono>
 #include <iostream>
 
+#include "common/clock.h"
 #include "common/table.h"
 #include "core/ilp_allocator.h"
 #include "models/cost_model.h"
@@ -80,12 +80,10 @@ solveInstance(int devices, int families, int variants_per)
     opts.time_limit_sec = 60.0;  // paper's budget
     opts.gap_tol = 1e-3;
 
-    auto t0 = std::chrono::steady_clock::now();
+    const WallTimer timer;
     Solution sol = MilpSolver(opts).solve(lp);
     Measurement m;
-    m.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+    m.seconds = timer.elapsedSeconds();
     m.status = sol.status;
     m.nodes = sol.work;
     return m;

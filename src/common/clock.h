@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The single sanctioned wall-clock site in the tree.
+ *
+ * Every accuracy-scaling decision Proteus makes is only trustworthy if
+ * the pipeline from arrival trace to MILP allocation is deterministic,
+ * so decision-path code must never branch on wall-clock values. The
+ * one legitimate use of real time is *measurement* — solver time
+ * limits and reported solve latencies — and all of it funnels through
+ * WallTimer so the static-analysis gate (proteus_lint rule D2) can
+ * whitelist exactly this header and flag every other clock read.
+ *
+ * Consumers must not branch on elapsed time in a way that changes
+ * *what* is computed, only *how long* we keep refining it (e.g. the
+ * MILP time limit, which is reported as a TimeLimit status rather than
+ * silently changing the answer).
+ */
+
+#ifndef PROTEUS_COMMON_CLOCK_H_
+#define PROTEUS_COMMON_CLOCK_H_
+
+#include <chrono>
+
+namespace proteus {
+
+/**
+ * Monotonic stopwatch over std::chrono::steady_clock. Starts running
+ * at construction; reset() restarts it.
+ */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch from zero. */
+    void reset() { start_ = Clock::now(); }
+
+    /** @return seconds elapsed since construction or the last reset(). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    Clock::time_point start_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_CLOCK_H_

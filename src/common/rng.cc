@@ -12,6 +12,8 @@ std::size_t
 Rng::pickWeighted(const std::vector<double>& weights)
 {
     PROTEUS_ASSERT(!weights.empty(), "pickWeighted on empty weights");
+    // det-order: left-to-right fold over a vector; summation order is
+    // fixed by the caller's element order, so the result is reproducible.
     double total = std::accumulate(weights.begin(), weights.end(), 0.0);
     PROTEUS_ASSERT(total > 0.0, "pickWeighted needs positive total weight");
     double r = uniform() * total;

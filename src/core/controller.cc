@@ -3,7 +3,6 @@
 #include <utility>
 
 #include "common/logging.h"
-#include <cstdio>
 #include <cstdlib>
 
 namespace proteus {
@@ -98,11 +97,10 @@ Controller::requestReallocation()
     // Debug tracing: PROTEUS_TRACE_ALARM=1 logs burst alarms.
     static const bool trace_alarm = getenv("PROTEUS_TRACE_ALARM");
     if (trace_alarm) {
-        fprintf(stderr, "[alarm] t=%.1f pending=%d since=%.1f\n",
-                toSeconds(sim_->now()), (int)decision_pending_,
-                last_start_ == kNoTime
-                    ? -1.0
-                    : toSeconds(sim_->now() - last_start_));
+        warn("[alarm] pending=", decision_pending_, " since=",
+             last_start_ == kNoTime
+                 ? -1.0
+                 : toSeconds(sim_->now() - last_start_));
     }
     if (decision_pending_)
         return;

@@ -1,10 +1,10 @@
 #include "core/ilp_allocator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <map>
 
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace proteus {
@@ -786,8 +786,7 @@ IlpAllocator::expand(const TypeSolution& sol,
 Allocation
 IlpAllocator::allocate(const AllocationInput& input)
 {
-    using Clock = std::chrono::steady_clock;
-    auto start = Clock::now();
+    const WallTimer timer;
 
     PROTEUS_ASSERT(input.demand_qps.size() == registry_->numFamilies(),
                    "demand vector size mismatch");
@@ -878,15 +877,15 @@ IlpAllocator::allocate(const AllocationInput& input)
                 if (!servable)
                     check[f] = 0.0;
             }
-            CountsEval cur = evalCounts(ctx, cur_counts, check);
+            CountsEval cur_eval = evalCounts(ctx, cur_counts, check);
             double fresh_obj = sol.objective;
-            if (cur.feasible &&
-                cur.objective >=
+            if (cur_eval.feasible &&
+                cur_eval.objective >=
                     fresh_obj * (1.0 - options_.keep_plan_hysteresis)) {
                 TypeSolution kept;
                 kept.count = cur_counts;
                 kept.qps = greedyFill(ctx, cur_counts, check);
-                kept.objective = cur.objective;
+                kept.objective = cur_eval.objective;
                 kept.feasible = true;
                 kept.nodes = sol.nodes;
                 kept.simplex_iters = sol.simplex_iters;
@@ -900,8 +899,7 @@ IlpAllocator::allocate(const AllocationInput& input)
                              input.current);
     plan.planned_demand = input.demand_qps;
     down_ = nullptr;
-    stats_.solve_seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
+    stats_.solve_seconds = timer.elapsedSeconds();
     stats_.nodes = total_nodes;
     stats_.simplex_iters = total_iters;
     stats_.gap = sol.gap;

@@ -10,7 +10,6 @@
 #include "baselines/sommelier.h"
 #include "common/logging.h"
 #include "core/batching.h"
-#include <cstdio>
 #include <cstdlib>
 
 namespace proteus {
@@ -242,11 +241,8 @@ ServingSystem::applyPlan(const Allocation& plan)
             if (workers_[d]->hostedVariant() != plan.hosting[d])
                 ++swaps;
         }
-        fprintf(stderr,
-                "[plan] t=%.1f est_now=%.0f planned_cap=%.0f swaps=%d"
-                " exp_acc=%.2f\n",
-                toSeconds(sim_.now()), est, cap, swaps,
-                plan.expected_accuracy);
+        warn("[plan] est_now=", est, " planned_cap=", cap,
+             " swaps=", swaps, " exp_acc=", plan.expected_accuracy);
     }
     // Hosting changes first (loads start immediately) ...
     for (DeviceId d = 0; d < workers_.size(); ++d)

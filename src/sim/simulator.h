@@ -18,9 +18,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "common/types.h"
@@ -111,8 +111,11 @@ class Simulator
     EventId next_id_ = 1;
     std::uint64_t executed_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-    std::unordered_map<EventId, Callback> callbacks_;
-    std::unordered_set<EventId> cancelled_periodics_;
+    // Ordered containers (lint rule D1): EventIds are assigned
+    // monotonically, so lookup/erase stay O(log n) on a shallow tree
+    // and any future iteration is in deterministic id order.
+    std::map<EventId, Callback> callbacks_;
+    std::set<EventId> cancelled_periodics_;
 };
 
 }  // namespace proteus

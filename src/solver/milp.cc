@@ -1,12 +1,12 @@
 #include "solver/milp.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <queue>
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace proteus {
@@ -56,8 +56,7 @@ Solution
 MilpSolver::solve(const LinearProgram& lp,
                   const std::vector<double>* hint)
 {
-    using Clock = std::chrono::steady_clock;
-    const auto t_start = Clock::now();
+    const WallTimer timer;
     const bool maximize = lp.objSense() == ObjSense::Maximize;
     // All bounds below are handled in "maximize" orientation.
     auto orient = [&](double v) { return maximize ? v : -v; };
@@ -120,9 +119,7 @@ MilpSolver::solve(const LinearProgram& lp,
     auto timeUp = [&]() {
         if (options_.time_limit_sec <= 0.0)
             return false;
-        double elapsed = std::chrono::duration<double>(
-            Clock::now() - t_start).count();
-        return elapsed >= options_.time_limit_sec;
+        return timer.elapsedSeconds() >= options_.time_limit_sec;
     };
 
     auto offerIncumbent = [&](const Solution& s) {
@@ -291,10 +288,7 @@ MilpSolver::solve(const LinearProgram& lp,
 
     best.work = nodes;
     stats_.nodes = nodes;
-    auto finish = [&]() {
-        stats_.wall_seconds = std::chrono::duration<double>(
-            Clock::now() - t_start).count();
-    };
+    auto finish = [&]() { stats_.wall_seconds = timer.elapsedSeconds(); };
 
     if (root_unbounded) {
         best.status = SolveStatus::Unbounded;

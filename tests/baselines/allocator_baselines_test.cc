@@ -117,8 +117,9 @@ TEST(SommelierAllocatorTest, PlacementFrozenAfterFirstCall)
     Allocation second = alloc.allocate(b);
     auto fam2 = family_map(second);
     for (std::size_t d = 0; d < fam1.size(); ++d) {
-        if (fam2[d] != -1)
+        if (fam2[d] != -1) {
             EXPECT_EQ(fam2[d], fam1[d]) << "device " << d;
+        }
     }
 }
 

@@ -186,8 +186,9 @@ TEST(IlpAllocatorTest, VariantFilterRestrictsSelection)
     in.demand_qps = demandOf(w, {50.0, 20.0, 10.0});
     Allocation plan = alloc.allocate(in);
     for (const auto& h : plan.hosting) {
-        if (h && w.registry.familyOf(*h) == 0)
+        if (h && w.registry.familyOf(*h) == 0) {
             EXPECT_EQ(*h, only);
+        }
     }
 }
 

@@ -93,8 +93,8 @@ INSTANTIATE_TEST_SUITE_P(
                       AllocatorKind::ClipperHT, AllocatorKind::ClipperHA,
                       AllocatorKind::Sommelier, AllocatorKind::ProteusNoMS,
                       AllocatorKind::ProteusNoQA),
-    [](const auto& info) {
-        std::string name = toString(info.param);
+    [](const auto& test_info) {
+        std::string name = toString(test_info.param);
         for (auto& c : name) {
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';
@@ -123,8 +123,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(BatchingKind::Proteus, BatchingKind::ClipperAimd,
                       BatchingKind::NexusEarlyDrop,
                       BatchingKind::StaticOne),
-    [](const auto& info) {
-        std::string name = toString(info.param);
+    [](const auto& test_info) {
+        std::string name = toString(test_info.param);
         for (auto& c : name) {
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';

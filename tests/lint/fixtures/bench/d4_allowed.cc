@@ -1,0 +1,14 @@
+// Fixture: bench/ (and tools/) may write to stdout directly, and the
+// banned identifiers are inert inside strings and comments:
+// steady_clock, unordered_map, const_cast — none of these fire.
+#include <iostream>
+
+namespace fx {
+
+void
+print_table()
+{
+    std::cout << "uses steady_clock and unordered_map in a string\n";
+}
+
+}  // namespace fx

@@ -1,0 +1,33 @@
+// Fixture: D3 — float accumulate needs a det-order comment.
+#include <numeric>
+#include <vector>
+
+namespace fx {
+
+double
+sum_bad(const std::vector<double>& v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double
+sum_ok(const std::vector<double>& v)
+{
+    // det-order: summation follows the caller's fixed vector order
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+int
+sum_int(const std::vector<int>& v)
+{
+    return std::accumulate(v.begin(), v.end(), 0);
+}
+
+double
+sum_suppressed(const std::vector<double>& v)
+{
+    // NOLINTNEXTLINE-PROTEUS(D3): fixture demonstrating the next-line form
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+}  // namespace fx

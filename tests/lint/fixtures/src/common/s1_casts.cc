@@ -1,0 +1,14 @@
+// Fixture: S1 — no const_cast / reinterpret_cast in src/.
+#include <cstdint>
+
+namespace fx {
+
+int
+unsafe(const int* p)
+{
+    int* q = const_cast<int*>(p);
+    auto bits = *reinterpret_cast<const std::uint32_t*>(p);
+    return *q + static_cast<int>(bits);
+}
+
+}  // namespace fx

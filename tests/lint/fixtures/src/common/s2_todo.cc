@@ -1,0 +1,14 @@
+// Fixture: S2 — stale markers need an issue reference.
+// TODO: make this configurable
+// FIXME the branch below is dead
+// TODO(#42): tracked and well-formed, does not fire
+
+namespace fx {
+
+inline int
+answer()
+{
+    return 42;
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+// Fixture: S3 — suppression hygiene (and D4 interplay).
+#include <iostream>
+
+namespace fx {
+
+void
+emit(int n)
+{
+    std::cout << n;  // NOLINT-PROTEUS(D4): fixture demonstrating a valid same-line suppression
+    std::cout << n;  // NOLINT-PROTEUS(D9): unknown rule id leaves the finding live
+    std::cout << n;  // NOLINT-PROTEUS(D4)
+    std::cout << n;  // NOLINT-PROTEUS(*): wildcard form covers the D4 on this line
+}
+
+}  // namespace fx

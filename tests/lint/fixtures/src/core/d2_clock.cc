@@ -1,0 +1,33 @@
+// Fixture: D2 fires on wall-clock reads outside common/clock.h.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fx {
+
+struct Query {
+    double time_us = 0.0;
+    double time_point() const { return time_us; }
+};
+
+double
+now_seconds()
+{
+    auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count() +
+           static_cast<double>(time(nullptr));
+}
+
+int
+jitter()
+{
+    return rand();  // NOLINT-PROTEUS(D2): fixture demonstrating a suppressed PRNG read
+}
+
+double
+member_call_is_fine(const Query& q)
+{
+    return q.time_point();
+}
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// Fixture: D4 — raw output belongs in bench/ and tools/ only.
+#include <cstdio>
+#include <iostream>
+
+namespace fx {
+
+void
+report(int n)
+{
+    std::cout << n << "\n";
+    printf("%d\n", n);
+    std::fprintf(stderr, "%d\n", n);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", n);
+}
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+// Fixture: D1 fires on unordered containers in decision-path dirs.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fx {
+
+struct Queues {
+    std::unordered_map<int, int> by_id;
+    std::unordered_set<int> seen;  // NOLINT-PROTEUS(D1): lookup-only set, never iterated
+};
+
+}  // namespace fx

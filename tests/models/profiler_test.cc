@@ -91,8 +91,9 @@ TEST(ProfilerTest, SmallerVariantsNeverSlowerPeak)
                 w.profiles->get(w.registry.leastAccurate(f), t);
             const auto& big =
                 w.profiles->get(w.registry.mostAccurate(f), t);
-            if (big.usable())
+            if (big.usable()) {
                 EXPECT_GE(small.peak_qps, big.peak_qps);
+            }
         }
     }
 }

@@ -53,8 +53,9 @@ TEST_P(ParanoidLpTest, MixedSenseRowsSurviveSelfCheck)
     // With equality/>= rows, instances may be infeasible; whenever a
     // solution is claimed it must verify (the paranoid checks already
     // panicked if the tableau drifted).
-    if (sol.status == SolveStatus::Optimal)
+    if (sol.status == SolveStatus::Optimal) {
         EXPECT_TRUE(lp.isFeasible(sol.x, 1e-6)) << "seed " << GetParam();
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParanoidLpTest, ::testing::Range(0, 40));

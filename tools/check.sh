@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + ctest, plain and under ASan+UBSan.
+# Tier-1 verification and static-analysis gates.
 #
-#   tools/check.sh          # both passes
-#   tools/check.sh plain    # plain pass only
-#   tools/check.sh asan     # sanitized pass only
+#   tools/check.sh          # all passes: plain, asan, lint, strict
+#   tools/check.sh plain    # build + ctest
+#   tools/check.sh asan     # build + ctest under ASan+UBSan
+#   tools/check.sh lint     # proteus_lint + clang-tidy (if installed)
+#   tools/check.sh strict   # -Wshadow -Wconversion -Wextra-semi -Werror
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,9 +14,9 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 mode="${1:-all}"
 
 case "${mode}" in
-    all|plain|asan) ;;
+    all|plain|asan|lint|strict) ;;
     *)
-        echo "usage: tools/check.sh [all|plain|asan]" >&2
+        echo "usage: tools/check.sh [all|plain|asan|lint|strict]" >&2
         exit 2
         ;;
 esac
@@ -42,9 +44,48 @@ trace_smoke() {
     echo "trace smoke OK (${trace})"
 }
 
+lint_pass() {
+    # proteus_lint has no dependencies, so compile it directly: the
+    # lint gate must work on machines without GTest/benchmark.
+    echo "=== lint: build proteus_lint ==="
+    mkdir -p build-lint
+    c++ -std=c++20 -O2 -Wall -Wextra \
+        tools/lint/lint.cc tools/lint/proteus_lint.cc \
+        -o build-lint/proteus_lint
+    echo "=== lint: proteus_lint (src bench tools tests) ==="
+    build-lint/proteus_lint
+    if command -v clang-tidy > /dev/null 2>&1; then
+        echo "=== lint: clang-tidy (src/) ==="
+        find src -name '*.cc' -print0 |
+            xargs -0 -P "${jobs}" -n 4 clang-tidy --quiet \
+                -- -std=c++20 -I src
+    else
+        echo "=== lint: clang-tidy not installed; skipped (CI runs it) ==="
+    fi
+}
+
+strict_pass() {
+    # Build-only: the point is that the tree compiles warning-free at
+    # the raised baseline; plain/asan passes already run the tests.
+    run_strict_dir=build-strict
+    echo "=== strict: configure (PROTEUS_STRICT_WARNINGS + -Werror) ==="
+    cmake -B "${run_strict_dir}" -S . \
+        -DPROTEUS_STRICT_WARNINGS=ON -DPROTEUS_WERROR=ON
+    echo "=== strict: build ==="
+    cmake --build "${run_strict_dir}" -j "${jobs}"
+}
+
+if [[ "${mode}" == "all" || "${mode}" == "lint" ]]; then
+    lint_pass
+fi
+
 if [[ "${mode}" == "all" || "${mode}" == "plain" ]]; then
     run_pass "plain" build
     trace_smoke build
+fi
+
+if [[ "${mode}" == "all" || "${mode}" == "strict" ]]; then
+    strict_pass
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "asan" ]]; then

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * proteus_lint — determinism-and-safety static analysis for the tree.
+ *
+ * A small tokenizer (comments, string/char/raw-string literals,
+ * identifiers, numbers, punctuation) feeds a registry of project
+ * rules. The rules encode the invariants that PR 2 made load-bearing:
+ * byte-identical same-seed traces require that nothing in the decision
+ * path iterates an unordered container, reads the wall clock outside
+ * the sanctioned shim, or folds floats in an unspecified order.
+ *
+ * Rules (see ruleRegistry() for the authoritative table):
+ *   D1  no unordered_map/unordered_set in solver/controller/router/sim
+ *       code (src/solver/, src/core/, src/sim/) — iteration order is
+ *       unspecified and has leaked into decisions in other systems.
+ *   D2  no direct wall-clock reads (std::chrono::{steady,system,
+ *       high_resolution}_clock, time()/clock()/rand()/srand()) outside
+ *       src/common/clock.h, the whitelisted WallTimer shim.
+ *   D3  no float/double std::accumulate without an explicit
+ *       "det-order:" comment justifying the summation order.
+ *   D4  no std::cout / raw printf-family output outside bench/ and
+ *       tools/ — library code must use common/logging.
+ *   S1  no const_cast / reinterpret_cast in src/.
+ *   S2  stale-marker comments must carry an issue reference, i.e.
+ *       the TODO(#123) form.
+ *   S3  suppression hygiene: every suppression marker names known
+ *       rule ids and carries a non-empty reason.
+ *
+ * Suppressions:
+ *   code();  // NOLINT-PROTEUS(D2): reason why this is safe
+ *   // NOLINTNEXTLINE-PROTEUS(D1,D3): reason covering the next line
+ *   // NOLINT-PROTEUS(*): reason — suppress every rule on this line
+ */
+
+#ifndef PROTEUS_TOOLS_LINT_LINT_H_
+#define PROTEUS_TOOLS_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace proteus::lint {
+
+/** One rule violation (or suppressed would-be violation). */
+struct Finding {
+    std::string file;           ///< path as passed to lintSource()
+    int line = 0;               ///< 1-based line of the offending token
+    int col = 0;                ///< 1-based column
+    std::string rule;           ///< rule id, e.g. "D2"
+    std::string message;        ///< human-readable explanation
+    bool suppressed = false;    ///< true when a suppression covers it
+    std::string suppress_reason;  ///< the suppression's reason text
+};
+
+/** Registry entry describing one rule. */
+struct RuleInfo {
+    const char* id;       ///< short id, e.g. "D1"
+    const char* summary;  ///< one-line description for --list-rules
+};
+
+/** @return the full rule registry, in display order. */
+const std::vector<RuleInfo>& ruleRegistry();
+
+/** @return true when @p id names a registered rule. */
+bool isKnownRule(const std::string& id);
+
+/**
+ * Lint one translation unit. @p path is used both for reporting and
+ * for directory-scoped rule applicability (substring match on
+ * "src/solver/", "bench/", ... so fixture trees that mirror the
+ * layout exercise the same scoping).
+ */
+std::vector<Finding> lintSource(const std::string& path,
+                                const std::string& text);
+
+/** Read @p path and lint it. IO errors produce a "IO" finding. */
+std::vector<Finding> lintFile(const std::string& path);
+
+/**
+ * Recursively collect .cc/.cpp/.h/.hpp files under @p roots, sorted
+ * for deterministic output. When @p skip_fixtures is set, paths
+ * containing "tests/lint/fixtures" are excluded (they contain
+ * intentional violations).
+ */
+std::vector<std::string> collectFiles(const std::vector<std::string>& roots,
+                                      bool skip_fixtures);
+
+/** Serialize findings as the stable --json schema (version 1). */
+std::string toJson(const std::vector<Finding>& findings,
+                   std::size_t files_scanned);
+
+/** Format one finding as "file:line:col: [rule] message". */
+std::string formatHuman(const Finding& f);
+
+}  // namespace proteus::lint
+
+#endif  // PROTEUS_TOOLS_LINT_LINT_H_

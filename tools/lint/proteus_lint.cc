@@ -1,0 +1,114 @@
+/**
+ * @file
+ * proteus_lint CLI — the determinism-and-safety gate for the tree.
+ *
+ *   proteus_lint                  # scan src/ bench/ tools/ tests/
+ *   proteus_lint --json           # machine-readable findings
+ *   proteus_lint --root DIR       # scan relative to DIR
+ *   proteus_lint path...          # scan explicit files/dirs (keeps
+ *                                 # lint fixtures, used by the tests)
+ *   proteus_lint --list-rules     # print the rule registry
+ *
+ * Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: proteus_lint [--json] [--show-suppressed] "
+                 "[--list-rules] [--root DIR] [path...]\n";
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    namespace lint = proteus::lint;
+
+    bool json = false;
+    bool show_suppressed = false;
+    std::string root;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--show-suppressed") {
+            show_suppressed = true;
+        } else if (arg == "--list-rules") {
+            for (const lint::RuleInfo& r : lint::ruleRegistry())
+                std::cout << r.id << "  " << r.summary << "\n";
+            return 0;
+        } else if (arg == "--root") {
+            if (++i >= argc)
+                return usage();
+            root = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    const bool explicit_paths = !paths.empty();
+    if (!explicit_paths) {
+        const std::string base = root.empty() ? "" : root + "/";
+        for (const char* d : {"src", "bench", "tools", "tests"})
+            paths.push_back(base + d);
+    }
+
+    const std::vector<std::string> files =
+        lint::collectFiles(paths, /*skip_fixtures=*/!explicit_paths);
+    if (files.empty()) {
+        std::cerr << "proteus_lint: no input files\n";
+        return 2;
+    }
+
+    std::vector<lint::Finding> findings;
+    bool io_error = false;
+    for (const std::string& f : files) {
+        for (lint::Finding& fd : lint::lintFile(f)) {
+            io_error = io_error || fd.rule == "IO";
+            findings.push_back(std::move(fd));
+        }
+    }
+
+    std::size_t unsuppressed = 0;
+    std::size_t suppressed = 0;
+    for (const lint::Finding& f : findings) {
+        if (f.suppressed)
+            ++suppressed;
+        else
+            ++unsuppressed;
+    }
+
+    if (json) {
+        std::cout << lint::toJson(findings, files.size());
+    } else {
+        for (const lint::Finding& f : findings) {
+            if (f.suppressed && !show_suppressed)
+                continue;
+            std::cout << lint::formatHuman(f) << "\n";
+        }
+        std::cout << "proteus_lint: scanned " << files.size()
+                  << " files, " << unsuppressed
+                  << " unsuppressed findings (" << suppressed
+                  << " suppressed)\n";
+    }
+
+    if (io_error)
+        return 2;
+    return unsuppressed > 0 ? 1 : 0;
+}
