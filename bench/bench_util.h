@@ -31,20 +31,29 @@ namespace bench {
  * tracing is force-enabled and the Chrome trace of the run is written
  * there (each call overwrites the file, so with several systems the
  * last run wins — point the variable at a single-system invocation
- * for analysis).
+ * for analysis). PROTEUS_TIMELINE_FILE does the same for the sampled
+ * time-series export: <path> gets the JSON, <path>.csv the CSV.
  */
 inline RunResult
 runSystem(const Cluster& cluster, const ModelRegistry& registry,
           SystemConfig config, const Trace& trace)
 {
     const char* trace_path = std::getenv("PROTEUS_TRACE_FILE");
-    if (trace_path)
+    const char* timeline_path = std::getenv("PROTEUS_TIMELINE_FILE");
+    if (trace_path || timeline_path)
         config.obs.enabled = true;
     ServingSystem system(&cluster, &registry, config);
     RunResult result = system.run(trace);
     if (trace_path && system.tracer() &&
         !obs::writeChromeTrace(*system.tracer(), trace_path)) {
         warn("could not write trace file ", trace_path);
+    }
+    if (timeline_path && system.timeseries()) {
+        if (!system.timeseries()->writeJson(timeline_path))
+            warn("could not write timeline file ", timeline_path);
+        const std::string csv = std::string(timeline_path) + ".csv";
+        if (!system.timeseries()->writeCsv(csv))
+            warn("could not write timeline file ", csv);
     }
     return result;
 }
@@ -100,17 +109,42 @@ printTimeseries(std::ostream& os, const std::string& name,
     table.print(os);
 }
 
+/** Schema version stamped into every BENCH_<name>.json. Bump when
+ * the result layout changes; bench_diff refuses to compare reports
+ * with different schemas. */
+inline constexpr int kBenchSchemaVersion = 2;
+
+/** @return the git SHA baked in at build time (or "unknown"). */
+inline std::string
+benchGitSha()
+{
+#ifdef PROTEUS_GIT_SHA
+    return PROTEUS_GIT_SHA;
+#else
+    const char* env = std::getenv("PROTEUS_GIT_SHA");
+    return env ? env : "unknown";
+#endif
+}
+
 /**
  * Machine-readable companion to the printed tables: collects one
  * entry per run and writes BENCH_<name>.json next to the binary's
  * working directory, so plotting scripts consume results without
- * scraping stdout.
+ * scraping stdout. Every report is stamped with the schema version,
+ * the build's git SHA and the experiment config name so bench_diff
+ * can refuse cross-schema comparisons and trace a result back to the
+ * commit that produced it.
  */
 class JsonReport
 {
   public:
     /** @param name figure/table slug, e.g. "fig04_end_to_end". */
-    explicit JsonReport(std::string name) : name_(std::move(name)) {}
+    explicit JsonReport(std::string name)
+        : name_(std::move(name)), config_(name_)
+    {}
+
+    /** Override the experiment config name (defaults to the slug). */
+    void setConfig(std::string config) { config_ = std::move(config); }
 
     /** Record the summary of one system's run under @p system. */
     void
@@ -150,7 +184,9 @@ class JsonReport
         std::ofstream f(path, std::ios::binary | std::ios::trunc);
         if (!f)
             return false;
-        f << "{\"bench\":\"" << name_ << "\",\"results\":{";
+        f << "{\"bench\":\"" << name_ << "\",\"schema\":"
+          << kBenchSchemaVersion << ",\"git_sha\":\"" << benchGitSha()
+          << "\",\"config\":\"" << config_ << "\",\"results\":{";
         for (std::size_t i = 0; i < entries_.size(); ++i) {
             if (i)
                 f << ',';
@@ -170,6 +206,7 @@ class JsonReport
     }
 
     std::string name_;
+    std::string config_;
     std::vector<std::string> entries_;
 };
 

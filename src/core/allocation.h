@@ -107,6 +107,12 @@ struct AllocatorSolveMeta {
     double gap = 0.0;
     /** Infeasibility backoff steps taken (§4 demand scale-down). */
     int backoff_steps = 0;
+    /**
+     * Deterministic work budget (simplex iterations) the solve ran
+     * under; 0 when unlimited. Lets the observability layer report
+     * budget consumption (simplex_iterations / work_budget).
+     */
+    std::int64_t work_budget = 0;
 };
 
 /** Strategy interface for resource allocation. */

@@ -67,8 +67,14 @@ struct SystemConfig {
 
     /** Simulated MILP decision latency for Proteus (§6.8: ~4.2 s). */
     Duration ilp_decision_delay = seconds(4.2);
-    /** Wall-clock budget per MILP solve inside the allocator. */
-    double milp_time_limit_sec = 2.0;
+    /**
+     * Deterministic work budget per MILP solve (simplex iterations;
+     * 0 disables). Binds before the wall clock so truncated solves
+     * return the same incumbent regardless of machine load.
+     */
+    std::int64_t milp_work_budget = 2000000;
+    /** Wall-clock backstop per MILP solve inside the allocator. */
+    double milp_time_limit_sec = 10.0;
 
     /** Multiplicative execution-latency jitter (0 = deterministic). */
     double latency_jitter_frac = 0.0;

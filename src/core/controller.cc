@@ -26,6 +26,9 @@ Controller::setObs(obs::Tracer* tracer, obs::MetricsRegistry* registry)
         solve_wall_us_ = registry->histogram("solver.wall_us");
         solve_nodes_ = registry->histogram("solver.nodes");
         solve_iters_ = registry->histogram("solver.simplex_iters");
+        last_nodes_ = registry->gauge("solver.last_nodes");
+        last_iters_ = registry->gauge("solver.last_simplex_iters");
+        work_frac_ = registry->gauge("solver.work_frac");
     }
 }
 
@@ -41,6 +44,17 @@ Controller::noteSolve(const AllocatorSolveMeta& meta)
         solve_nodes_->record(static_cast<double>(meta.nodes));
     if (solve_iters_)
         solve_iters_->record(static_cast<double>(meta.simplex_iterations));
+    if (last_nodes_)
+        last_nodes_->set(static_cast<double>(meta.nodes));
+    if (last_iters_)
+        last_iters_->set(static_cast<double>(meta.simplex_iterations));
+    if (work_frac_) {
+        work_frac_->set(
+            meta.work_budget > 0
+                ? static_cast<double>(meta.simplex_iterations) /
+                      static_cast<double>(meta.work_budget)
+                : 0.0);
+    }
     return decision;
 }
 

@@ -116,6 +116,10 @@ class Controller
     obs::Histogram* solve_wall_us_ = nullptr;
     obs::Histogram* solve_nodes_ = nullptr;
     obs::Histogram* solve_iters_ = nullptr;
+    obs::Gauge* last_nodes_ = nullptr;
+    obs::Gauge* last_iters_ = nullptr;
+    /** Last solve's simplex iterations over its work budget (0..1+). */
+    obs::Gauge* work_frac_ = nullptr;
     std::uint64_t decision_seq_ = 0;
 
     Allocation current_;

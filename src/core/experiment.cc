@@ -163,6 +163,9 @@ loadExperiment(const JsonValue& json)
     spec.config.ilp_decision_delay = seconds(json.numberOr(
         "decision_delay_sec",
         toSeconds(spec.config.ilp_decision_delay)));
+    spec.config.milp_work_budget = static_cast<std::int64_t>(
+        json.numberOr("milp_work_budget",
+                      static_cast<double>(spec.config.milp_work_budget)));
     spec.config.latency_jitter_frac = json.numberOr(
         "latency_jitter", spec.config.latency_jitter_frac);
     spec.config.seed =
@@ -175,8 +178,29 @@ loadExperiment(const JsonValue& json)
             o.numberOr("ring_capacity",
                        static_cast<double>(
                            spec.config.obs.ring_capacity)));
+        spec.config.obs.sample_interval = seconds(o.numberOr(
+            "sample_interval_sec",
+            toSeconds(spec.config.obs.sample_interval)));
+        spec.config.obs.timeseries_capacity = static_cast<std::size_t>(
+            o.numberOr("timeseries_capacity",
+                       static_cast<double>(
+                           spec.config.obs.timeseries_capacity)));
+        spec.config.obs.slo_window = seconds(o.numberOr(
+            "slo_window_sec", toSeconds(spec.config.obs.slo_window)));
+        spec.config.obs.slo_budget =
+            o.numberOr("slo_budget", spec.config.obs.slo_budget);
+        spec.config.obs.slo_burn_high =
+            o.numberOr("slo_burn_high", spec.config.obs.slo_burn_high);
+        spec.config.obs.slo_burn_low =
+            o.numberOr("slo_burn_low", spec.config.obs.slo_burn_low);
+        spec.config.obs.slo_min_count = static_cast<std::uint64_t>(
+            o.numberOr("slo_min_count",
+                       static_cast<double>(
+                           spec.config.obs.slo_min_count)));
         spec.trace_path = o.stringOr("trace_file", "");
         spec.metrics_path = o.stringOr("metrics_file", "");
+        spec.timeline_csv_path = o.stringOr("timeline_csv", "");
+        spec.timeline_json_path = o.stringOr("timeline_json", "");
     }
 
     spec.cluster = clusterFromJson(json);
@@ -198,8 +222,11 @@ loadExperimentFile(const std::string& path)
 RunResult
 runExperiment(ExperimentSpec* spec)
 {
-    if (!spec->trace_path.empty() || !spec->metrics_path.empty())
+    if (!spec->trace_path.empty() || !spec->metrics_path.empty() ||
+        !spec->timeline_csv_path.empty() ||
+        !spec->timeline_json_path.empty()) {
         spec->config.obs.enabled = true;
+    }
     ServingSystem system(&spec->cluster, &spec->registry,
                          spec->config);
     RunResult result = system.run(spec->trace);
@@ -211,6 +238,18 @@ runExperiment(ExperimentSpec* spec)
         if (!obs::writeMetricsJson(system.metricsRegistry(),
                                    spec->metrics_path)) {
             warn("could not write metrics file ", spec->metrics_path);
+        }
+    }
+    if (!spec->timeline_csv_path.empty()) {
+        if (!system.timeseries()->writeCsv(spec->timeline_csv_path)) {
+            warn("could not write timeline CSV ",
+                 spec->timeline_csv_path);
+        }
+    }
+    if (!spec->timeline_json_path.empty()) {
+        if (!system.timeseries()->writeJson(spec->timeline_json_path)) {
+            warn("could not write timeline JSON ",
+                 spec->timeline_json_path);
         }
     }
     return result;

@@ -53,6 +53,10 @@ struct ExperimentSpec {
     std::string trace_path;
     /** When non-empty, the metrics-registry JSON dump is written here. */
     std::string metrics_path;
+    /** When non-empty, the time-series CSV export is written here. */
+    std::string timeline_csv_path;
+    /** When non-empty, the time-series JSON export is written here. */
+    std::string timeline_json_path;
 };
 
 /**

@@ -577,6 +577,7 @@ IlpAllocator::solveAggregated(const std::vector<double>& demand,
     }
 
     MilpSolver::Options mopt;
+    mopt.work_limit_iters = options_.milp_work_budget;
     mopt.time_limit_sec = options_.milp_time_limit_sec;
     mopt.gap_tol = options_.milp_gap;
     mopt.heuristic_period = 4;

@@ -65,8 +65,17 @@ struct IlpAllocatorOptions {
     bool uniform_assignment = false;
     /** Simulated decision latency (paper §6.8: mean MILP time 4.2 s). */
     Duration decision_delay = seconds(4.2);
-    /** Budget for each underlying MILP solve. */
-    double milp_time_limit_sec = 2.0;
+    /**
+     * Deterministic work budget per MILP solve, in total simplex
+     * iterations. When the budget binds, the truncated solve returns
+     * the same incumbent regardless of machine load. 0 disables.
+     */
+    std::int64_t milp_work_budget = 2000000;
+    /**
+     * Wall-clock backstop per MILP solve. Generous by default so the
+     * work budget binds first and truncation stays deterministic.
+     */
+    double milp_time_limit_sec = 10.0;
     /**
      * Relative optimality gap for the MILP. The default certifies the
      * plan within 0.5% of the optimum; the LP-rounding + local-search
@@ -167,6 +176,7 @@ class IlpAllocator : public Allocator
         meta.simplex_iterations = stats_.simplex_iters;
         meta.gap = stats_.gap;
         meta.backoff_steps = stats_.backoff_steps;
+        meta.work_budget = options_.milp_work_budget;
         return meta;
     }
 

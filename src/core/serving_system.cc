@@ -1,6 +1,8 @@
 #include "core/serving_system.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "baselines/aimd_batching.h"
@@ -13,6 +15,39 @@
 #include <cstdlib>
 
 namespace proteus {
+
+namespace {
+
+/**
+ * Query-lifecycle fan-out used when observability is on: the metrics
+ * collector stays the primary sink (results are identical with obs
+ * off), the SLO monitor passively shadows every terminal outcome.
+ */
+class ObsFanout : public QueryObserver
+{
+  public:
+    ObsFanout(QueryObserver* primary, obs::SloMonitor* slo)
+        : primary_(primary), slo_(slo)
+    {}
+
+    void onArrival(const Query& query) override
+    {
+        primary_->onArrival(query);
+    }
+
+    void
+    onFinished(const Query& query) override
+    {
+        primary_->onFinished(query);
+        slo_->onOutcome(query.family, query.violatedSlo());
+    }
+
+  private:
+    QueryObserver* primary_;
+    obs::SloMonitor* slo_;
+};
+
+}  // namespace
 
 const char*
 toString(AllocatorKind kind)
@@ -61,9 +96,31 @@ ServingSystem::ServingSystem(const Cluster* cluster,
 
     // Observability: one tracer for the whole system, created only
     // when enabled so every hook below degrades to a null-pointer
-    // test on the hot path.
-    if (config_.obs.enabled)
+    // test on the hot path. The SLO monitor and time-series recorder
+    // are strictly passive (they observe, never steer), so the
+    // simulated results are identical with observability on or off.
+    observer_ = &metrics_;
+    if (config_.obs.enabled) {
         tracer_ = std::make_unique<obs::Tracer>(config_.obs.ring_capacity);
+        obs::SloMonitorOptions slo_opts;
+        slo_opts.window = config_.obs.slo_window;
+        slo_opts.buckets = config_.obs.slo_buckets;
+        slo_opts.budget = config_.obs.slo_budget;
+        slo_opts.burn_high = config_.obs.slo_burn_high;
+        slo_opts.burn_low = config_.obs.slo_burn_low;
+        slo_opts.min_count = config_.obs.slo_min_count;
+        slo_monitor_ = std::make_unique<obs::SloMonitor>(&sim_, slo_opts);
+        slo_monitor_->setTracer(tracer_.get());
+        slo_monitor_->setRegistry(&obs_registry_);
+        fanout_ =
+            std::make_unique<ObsFanout>(&metrics_, slo_monitor_.get());
+        observer_ = fanout_.get();
+        obs::TimeSeriesOptions ts_opts;
+        ts_opts.sample_interval = config_.obs.sample_interval;
+        ts_opts.capacity = config_.obs.timeseries_capacity;
+        timeseries_ =
+            std::make_unique<obs::TimeSeriesRecorder>(&sim_, ts_opts);
+    }
 
     // One worker per device. Requeued queries (variant swaps, stale
     // routing) are re-submitted through the family's load balancer on
@@ -78,7 +135,7 @@ ServingSystem::ServingSystem(const Cluster* cluster,
                     q->completion = sim_.now();
                     if (tracer_)
                         traceQueryEnd(tracer_.get(), *q);
-                    metrics_.onFinished(*q);
+                    observer_->onFinished(*q);
                     return;
                 }
                 // Resubmit without re-counting the arrival.
@@ -87,7 +144,7 @@ ServingSystem::ServingSystem(const Cluster* cluster,
         };
         auto worker = std::make_unique<Worker>(
             &sim_, cluster_, dev.id, registry_, &cost_, &profiles_,
-            &metrics_, requeue, config_.latency_jitter_frac,
+            observer_, requeue, config_.latency_jitter_frac,
             config_.seed);
         worker->setBatchingPolicy(makeBatchingPolicy());
         worker->setTracer(tracer_.get());
@@ -102,7 +159,7 @@ ServingSystem::ServingSystem(const Cluster* cluster,
     // One load balancer per registered application (query type).
     for (FamilyId f = 0; f < registry_->numFamilies(); ++f) {
         auto lb = std::make_unique<LoadBalancer>(
-            &sim_, f, &metrics_, config_.monitor_window);
+            &sim_, f, observer_, config_.monitor_window);
         lb->setTracer(tracer_.get());
         balancers_.push_back(std::move(lb));
     }
@@ -154,9 +211,118 @@ ServingSystem::ServingSystem(const Cluster* cluster,
         injector_ = std::make_unique<FaultInjector>(
             &sim_, &health_, std::move(hooks), config_.faults);
     }
+
+    if (timeseries_)
+        registerTimeSeriesChannels();
 }
 
 ServingSystem::~ServingSystem() = default;
+
+void
+ServingSystem::registerTimeSeriesChannels()
+{
+    obs::TimeSeriesRecorder* ts = timeseries_.get();
+
+    // Per-device utilization (busy-time fraction of the interval) and
+    // instantaneous queue depth.
+    for (DeviceId d = 0; d < workers_.size(); ++d) {
+        Worker* w = workers_[d].get();
+        const std::string prefix = "device." + std::to_string(d) + ".";
+        ts->addCounterRate(prefix + "util",
+                           [w] { return toSeconds(w->busyTime()); });
+        ts->addProbe(prefix + "queue", [w] {
+            return static_cast<double>(w->queueLength());
+        });
+    }
+
+    // Per-family rates derived from the collector's live cumulative
+    // counters, plus instantaneous depth/quality probes.
+    for (FamilyId f = 0; f < registry_->numFamilies(); ++f) {
+        const std::string prefix = "family." + std::to_string(f) + ".";
+        const MetricsCollector* mc = &metrics_;
+        ts->addCounterRate(prefix + "arrival_qps", [mc, f] {
+            return static_cast<double>(mc->familyTotals()[f].arrivals);
+        });
+        ts->addCounterRate(prefix + "throughput_qps", [mc, f] {
+            return static_cast<double>(mc->familyTotals()[f].completed());
+        });
+        ts->addCounterRate(prefix + "violation_qps", [mc, f] {
+            return static_cast<double>(
+                mc->familyTotals()[f].violations());
+        });
+        LoadBalancer* lb = balancers_[f].get();
+        ts->addCounterRate(prefix + "shed_qps", [lb] {
+            return static_cast<double>(lb->shed());
+        });
+        ts->addProbe(prefix + "queue", [this, f] {
+            double depth = 0.0;
+            for (const auto& w : workers_) {
+                if (auto v = w->hostedVariant()) {
+                    if (registry_->familyOf(*v) == f)
+                        depth += static_cast<double>(w->queueLength());
+                }
+            }
+            return depth;
+        });
+        // Interval mean batch size over the workers currently hosting
+        // the family: ratio of executed-query/batch deltas. Workers
+        // that swapped families mid-interval contribute a few foreign
+        // batches to the delta — telemetry-grade, not an invariant.
+        auto batch_last =
+            std::make_shared<std::pair<std::uint64_t, std::uint64_t>>();
+        ts->addProbe(prefix + "batch_size", [this, f, batch_last] {
+            std::uint64_t queries = 0, batches = 0;
+            for (const auto& w : workers_) {
+                if (auto v = w->hostedVariant()) {
+                    if (registry_->familyOf(*v) == f) {
+                        queries += w->batchedQueries();
+                        batches += w->batches();
+                    }
+                }
+            }
+            const std::uint64_t dq = queries - batch_last->first;
+            const std::uint64_t db = batches - batch_last->second;
+            *batch_last = {queries, batches};
+            return db ? static_cast<double>(dq) /
+                            static_cast<double>(db)
+                      : 0.0;
+        });
+        // Interval mean served accuracy: ratio of the collector's
+        // cumulative accuracy-sum/completed deltas (exact).
+        auto acc_last = std::make_shared<std::pair<double, double>>();
+        ts->addProbe(prefix + "accuracy", [mc, f, acc_last] {
+            const IntervalCounters& t = mc->familyTotals()[f];
+            const double sum = t.accuracy_sum;
+            const double done = static_cast<double>(t.completed());
+            const double dsum = sum - acc_last->first;
+            const double ddone = done - acc_last->second;
+            *acc_last = {sum, done};
+            return ddone > 0.0 ? dsum / ddone : 0.0;
+        });
+        obs::SloMonitor* slo = slo_monitor_.get();
+        ts->addProbe(prefix + "violation_ratio_w",
+                     [slo, f] { return slo->violationRatio(f); });
+        ts->addProbe(prefix + "burn_rate",
+                     [slo, f] { return slo->burnRate(f); });
+    }
+
+    // Cluster health and solver budget consumption. The solver gauges
+    // are sampled from the registry, fed by the controller at every
+    // decision (Controller::noteSolve).
+    ts->addProbe("cluster.devices_down", [this] {
+        return static_cast<double>(metrics_.devicesDown());
+    });
+    const obs::Gauge* nodes = obs_registry_.gauge("solver.last_nodes");
+    ts->addProbe("solver.last_nodes",
+                 [nodes] { return nodes->value(); });
+    const obs::Gauge* iters =
+        obs_registry_.gauge("solver.last_simplex_iters");
+    ts->addProbe("solver.last_simplex_iters",
+                 [iters] { return iters->value(); });
+    const obs::Gauge* frac = obs_registry_.gauge("solver.work_frac");
+    ts->addProbe("solver.work_frac",
+                 [frac] { return frac->value(); });
+}
 
 std::unique_ptr<BatchingPolicy>
 ServingSystem::makeBatchingPolicy() const
@@ -179,6 +345,7 @@ ServingSystem::makeAllocator()
 {
     IlpAllocatorOptions ilp;
     ilp.decision_delay = config_.ilp_decision_delay;
+    ilp.milp_work_budget = config_.milp_work_budget;
     ilp.milp_time_limit_sec = config_.milp_time_limit_sec;
     ilp.planning_headroom = config_.planning_headroom;
     switch (config_.allocator) {
@@ -290,6 +457,8 @@ ServingSystem::run(const Trace& trace,
                    "planning demand size mismatch");
 
     metrics_.start();
+    if (timeseries_)
+        timeseries_->start();
     controller_->start(planning_demand);
 
     // Chained arrival injection: one pending event at a time.
@@ -331,10 +500,12 @@ ServingSystem::run(const Trace& trace,
             q.completion = sim_.now();
             if (tracer_)
                 traceQueryEnd(tracer_.get(), q);
-            metrics_.onFinished(q);
+            observer_->onFinished(q);
         }
     }
     metrics_.finalize();
+    if (timeseries_)
+        timeseries_->finalize();
 
     // End-of-run registry summary (counters are deterministic; the
     // wall-time histograms were fed live by the controller).
@@ -372,6 +543,8 @@ ServingSystem::run(const Trace& trace,
     result.fault_windows = metrics_.faultWindows();
     if (injector_)
         result.faults_injected = injector_->injected();
+    if (slo_monitor_)
+        result.slo_alarms = slo_monitor_->alarmsRaised();
     return result;
 }
 

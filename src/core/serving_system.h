@@ -36,6 +36,8 @@
 #include "models/model.h"
 #include "models/profiler.h"
 #include "obs/metrics_registry.h"
+#include "obs/slo_monitor.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 #include "workload/trace.h"
@@ -58,6 +60,8 @@ struct RunResult {
     std::vector<FaultWindow> fault_windows;
     /** Fault events actually applied by the injector. */
     int faults_injected = 0;
+    /** SLO burn-rate alarms raised (0 with observability off). */
+    std::uint64_t slo_alarms = 0;
 };
 
 /** Fully assembled inference-serving system on a simulated cluster. */
@@ -114,8 +118,21 @@ class ServingSystem
         return obs_registry_;
     }
 
+    /**
+     * @return the time-series recorder, or nullptr when observability
+     * is disabled (SystemConfig::obs.enabled unset).
+     */
+    const obs::TimeSeriesRecorder* timeseries() const
+    {
+        return timeseries_.get();
+    }
+
+    /** @return the SLO monitor, or nullptr when observability is off. */
+    obs::SloMonitor* sloMonitor() { return slo_monitor_.get(); }
+
   private:
     void applyPlan(const Allocation& plan);
+    void registerTimeSeriesChannels();
     std::unique_ptr<BatchingPolicy> makeBatchingPolicy() const;
     std::unique_ptr<Allocator> makeAllocator();
     std::vector<double> demandEstimate() const;
@@ -130,6 +147,12 @@ class ServingSystem
     MetricsCollector metrics_;
     obs::MetricsRegistry obs_registry_;
     std::unique_ptr<obs::Tracer> tracer_;
+    std::unique_ptr<obs::TimeSeriesRecorder> timeseries_;
+    std::unique_ptr<obs::SloMonitor> slo_monitor_;
+    /** Fan-out observer (metrics + SLO monitor) when obs is enabled. */
+    std::unique_ptr<QueryObserver> fanout_;
+    /** The observer every component reports to (&metrics_ when off). */
+    QueryObserver* observer_ = nullptr;
 
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::unique_ptr<LoadBalancer>> balancers_;

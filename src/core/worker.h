@@ -154,6 +154,9 @@ class Worker
     /** @return model loads that failed on this worker. */
     std::uint64_t failedLoads() const { return failed_loads_; }
 
+    /** @return total queries executed across all batches. */
+    std::uint64_t batchedQueries() const { return batched_queries_; }
+
     /** @return mean executed batch size (0 when none). */
     double meanBatchSize() const;
 

@@ -95,6 +95,12 @@ appendArgs(std::string* out, const SpanRecord& s)
       case SpanKind::Alarm:
         appendArg(out, "family", s.a, &first);
         break;
+      case SpanKind::SloAlarm:
+        appendArg(out, "family", s.a, &first);
+        appendArg(out, "raised", s.v0, &first);
+        appendArg(out, "burn_milli", s.v1, &first);
+        appendArg(out, "window_completed", s.v2, &first);
+        break;
     }
     *out += '}';
 }
@@ -127,6 +133,7 @@ appendPidTid(std::string* out, const SpanRecord& s)
         tid = 0;
         break;
       case SpanKind::Alarm:
+      case SpanKind::SloAlarm:
         pid = kPidController;
         tid = 1;
         break;

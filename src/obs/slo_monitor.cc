@@ -1,0 +1,170 @@
+#include "obs/slo_monitor.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace proteus {
+namespace obs {
+
+SloMonitor::SloMonitor(Simulator* sim, SloMonitorOptions options)
+    : sim_(sim), options_(options)
+{
+    PROTEUS_ASSERT(options_.buckets >= 1, "slo monitor needs >= 1 bucket");
+    PROTEUS_ASSERT(options_.window > 0, "slo window must be positive");
+    PROTEUS_ASSERT(options_.budget > 0.0, "slo budget must be positive");
+    bucket_width_ =
+        options_.window / static_cast<Duration>(options_.buckets);
+    if (bucket_width_ <= 0)
+        bucket_width_ = 1;
+}
+
+void
+SloMonitor::setRegistry(MetricsRegistry* registry)
+{
+    if (registry == nullptr) {
+        raised_counter_ = nullptr;
+        cleared_counter_ = nullptr;
+        return;
+    }
+    raised_counter_ = registry->counter("slo.alarms_raised");
+    cleared_counter_ = registry->counter("slo.alarms_cleared");
+}
+
+SloMonitor::FamilyState&
+SloMonitor::state(FamilyId family)
+{
+    FamilyState& st = families_[family];
+    if (st.ring.empty())
+        st.ring.resize(options_.buckets);
+    return st;
+}
+
+void
+SloMonitor::advance(FamilyState* st, Time now)
+{
+    const std::int64_t slot = now / bucket_width_;
+    if (st->head_slot < 0) {
+        st->head_slot = slot;
+        return;
+    }
+    if (slot <= st->head_slot)
+        return;
+    const std::int64_t steps = slot - st->head_slot;
+    if (steps >= static_cast<std::int64_t>(options_.buckets)) {
+        // The whole window has elapsed; drop everything at once.
+        for (Bucket& b : st->ring)
+            b = Bucket{};
+        st->win_completed = 0;
+        st->win_violated = 0;
+        st->head_slot = slot;
+        return;
+    }
+    for (std::int64_t s = st->head_slot + 1; s <= slot; ++s) {
+        Bucket& b = st->ring[static_cast<std::size_t>(
+            s % static_cast<std::int64_t>(options_.buckets))];
+        st->win_completed -= b.completed;
+        st->win_violated -= b.violated;
+        b = Bucket{};
+    }
+    st->head_slot = slot;
+}
+
+double
+SloMonitor::ratioOf(const FamilyState& st) const
+{
+    if (st.win_completed == 0)
+        return 0.0;
+    return static_cast<double>(st.win_violated) /
+           static_cast<double>(st.win_completed);
+}
+
+void
+SloMonitor::updateAlarm(FamilyId family, FamilyState* st, Time now)
+{
+    const double burn = ratioOf(*st) / options_.budget;
+    bool crossed = false;
+    if (!st->alarm) {
+        if (burn >= options_.burn_high &&
+            st->win_completed >= options_.min_count) {
+            st->alarm = true;
+            ++alarms_raised_;
+            if (raised_counter_ != nullptr)
+                raised_counter_->inc();
+            crossed = true;
+        }
+    } else if (burn < options_.burn_low) {
+        st->alarm = false;
+        ++alarms_cleared_;
+        if (cleared_counter_ != nullptr)
+            cleared_counter_->inc();
+        crossed = true;
+    }
+    if (crossed && tracer_ != nullptr) {
+        SpanRecord span;
+        span.kind = SpanKind::SloAlarm;
+        span.start = now;
+        span.end = now;
+        span.id = alarms_raised_ + alarms_cleared_;
+        span.a = family;
+        span.v0 = st->alarm ? 1 : 0;
+        span.v1 = static_cast<std::int64_t>(std::lround(burn * 1000.0));
+        span.v2 = static_cast<std::int64_t>(st->win_completed);
+        tracer_->record(span);
+    }
+}
+
+void
+SloMonitor::onOutcome(FamilyId family, bool violated)
+{
+    const Time now = sim_->now();
+    FamilyState& st = state(family);
+    advance(&st, now);
+    Bucket& b = st.ring[static_cast<std::size_t>(
+        st.head_slot % static_cast<std::int64_t>(options_.buckets))];
+    ++b.completed;
+    ++st.win_completed;
+    if (violated) {
+        ++b.violated;
+        ++st.win_violated;
+    }
+    updateAlarm(family, &st, now);
+}
+
+double
+SloMonitor::violationRatio(FamilyId family)
+{
+    const Time now = sim_->now();
+    FamilyState& st = state(family);
+    advance(&st, now);
+    updateAlarm(family, &st, now);
+    return ratioOf(st);
+}
+
+double
+SloMonitor::burnRate(FamilyId family)
+{
+    return violationRatio(family) / options_.budget;
+}
+
+bool
+SloMonitor::alarmActive(FamilyId family)
+{
+    const Time now = sim_->now();
+    FamilyState& st = state(family);
+    advance(&st, now);
+    updateAlarm(family, &st, now);
+    return st.alarm;
+}
+
+std::uint64_t
+SloMonitor::windowCompleted(FamilyId family)
+{
+    const Time now = sim_->now();
+    FamilyState& st = state(family);
+    advance(&st, now);
+    return st.win_completed;
+}
+
+}  // namespace obs
+}  // namespace proteus

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Online SLO burn-rate monitor (DESIGN.md, "Observability").
+ *
+ * Tracks, per model family, the ratio of SLO-violating completions
+ * over a sliding simulated-time window (bucketed ring, so eviction is
+ * O(buckets) worst case and allocation-free after setup) and derives
+ * the *burn rate*: violation ratio divided by the error budget. A burn
+ * rate of 1.0 means the family is consuming its budget exactly as fast
+ * as allowed; 2.0 means twice as fast. Threshold crossings raise and
+ * clear alarms with hysteresis (raise at `burn_high`, clear below
+ * `burn_low`) and are recorded as SloAlarm spans plus registry
+ * counters.
+ *
+ * The monitor is strictly passive: it observes query outcomes and
+ * never feeds back into routing or planning, so enabling it cannot
+ * change the simulated results. All state advances on the simulated
+ * clock — same-seed runs produce identical alarm sequences.
+ */
+
+#ifndef PROTEUS_OBS_SLO_MONITOR_H_
+#define PROTEUS_OBS_SLO_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace proteus {
+namespace obs {
+
+/** Window geometry and alarm thresholds of an SloMonitor. */
+struct SloMonitorOptions {
+    /** Sliding-window length on the simulated clock. */
+    Duration window = seconds(30.0);
+    /** Buckets the window is divided into (eviction granularity). */
+    std::size_t buckets = 30;
+    /** Error budget: tolerated violation ratio within the window. */
+    double budget = 0.02;
+    /** Burn rate at/above which an alarm is raised. */
+    double burn_high = 1.0;
+    /** Burn rate below which a raised alarm clears (hysteresis). */
+    double burn_low = 0.5;
+    /** Minimum completions in the window before alarms may raise. */
+    std::uint64_t min_count = 20;
+};
+
+/** Per-family sliding-window violation-ratio and burn-rate tracker. */
+class SloMonitor
+{
+  public:
+    SloMonitor(Simulator* sim, SloMonitorOptions options = {});
+
+    SloMonitor(const SloMonitor&) = delete;
+    SloMonitor& operator=(const SloMonitor&) = delete;
+
+    /** Record alarm crossings as SloAlarm spans (nullptr to disable). */
+    void setTracer(Tracer* tracer) { tracer_ = tracer; }
+
+    /** Count raised/cleared alarms in @p registry (nullptr to skip). */
+    void setRegistry(MetricsRegistry* registry);
+
+    /**
+     * Record one completed query of @p family at the current simulated
+     * time; @p violated marks it as having missed its SLO deadline.
+     */
+    void onOutcome(FamilyId family, bool violated);
+
+    /**
+     * @return the violation ratio over the window ending now (0 when
+     * no query completed in the window). Advances the window first, so
+     * alarms may clear as stale buckets evict.
+     */
+    double violationRatio(FamilyId family);
+
+    /** @return violationRatio() divided by the error budget. */
+    double burnRate(FamilyId family);
+
+    /** @return true while @p family's alarm is raised. */
+    bool alarmActive(FamilyId family);
+
+    /** @return completions of @p family inside the current window. */
+    std::uint64_t windowCompleted(FamilyId family);
+
+    /** @return alarms raised across all families so far. */
+    std::uint64_t alarmsRaised() const { return alarms_raised_; }
+
+    /** @return alarms cleared across all families so far. */
+    std::uint64_t alarmsCleared() const { return alarms_cleared_; }
+
+  private:
+    struct Bucket {
+        std::uint64_t completed = 0;
+        std::uint64_t violated = 0;
+    };
+    struct FamilyState {
+        std::vector<Bucket> ring;
+        std::int64_t head_slot = -1;  ///< absolute slot of newest bucket
+        std::uint64_t win_completed = 0;
+        std::uint64_t win_violated = 0;
+        bool alarm = false;
+    };
+
+    FamilyState& state(FamilyId family);
+    void advance(FamilyState* st, Time now);
+    void updateAlarm(FamilyId family, FamilyState* st, Time now);
+    double ratioOf(const FamilyState& st) const;
+
+    Simulator* sim_;
+    SloMonitorOptions options_;
+    Duration bucket_width_;
+    Tracer* tracer_ = nullptr;
+    Counter* raised_counter_ = nullptr;
+    Counter* cleared_counter_ = nullptr;
+    // Ordered map (lint rule D1): family iteration order must be
+    // deterministic for exports and tests.
+    std::map<FamilyId, FamilyState> families_;
+    std::uint64_t alarms_raised_ = 0;
+    std::uint64_t alarms_cleared_ = 0;
+};
+
+}  // namespace obs
+}  // namespace proteus
+
+#endif  // PROTEUS_OBS_SLO_MONITOR_H_

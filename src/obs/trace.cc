@@ -18,6 +18,7 @@ toString(SpanKind kind)
       case SpanKind::Solve: return "solve";
       case SpanKind::Apply: return "apply";
       case SpanKind::Alarm: return "alarm";
+      case SpanKind::SloAlarm: return "slo_alarm";
     }
     return "unknown";
 }

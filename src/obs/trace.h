@@ -32,6 +32,24 @@ struct ObsOptions {
     bool enabled = false;
     /** Ring-buffer capacity in spans (oldest overwritten on wrap). */
     std::size_t ring_capacity = 1 << 16;
+
+    /** Time-series sampling period on the simulated clock. */
+    Duration sample_interval = seconds(1.0);
+    /** Preallocated samples per time-series channel. */
+    std::size_t timeseries_capacity = 1 << 12;
+
+    /** SLO monitor sliding-window length. */
+    Duration slo_window = seconds(30.0);
+    /** Buckets the window is divided into (eviction granularity). */
+    std::size_t slo_buckets = 30;
+    /** Error budget: tolerated violation ratio within the window. */
+    double slo_budget = 0.02;
+    /** Burn rate at/above which an alarm is raised. */
+    double slo_burn_high = 1.0;
+    /** Burn rate below which a raised alarm clears (hysteresis). */
+    double slo_burn_low = 0.5;
+    /** Minimum completions in the window before alarms may raise. */
+    std::uint64_t slo_min_count = 20;
 };
 
 /**
@@ -50,6 +68,7 @@ enum class SpanKind : std::uint8_t {
     Solve,  ///< decision compute → plan ready; v0=B&B nodes, v1=simplex iters, v2=gap ppm
     Apply,  ///< instant: a plan took effect; v0=plans applied so far
     Alarm,  ///< instant: burst alarm raised by a monitor; a=family
+    SloAlarm,  ///< instant: SLO burn-rate threshold crossing; a=family, v0=raised(1)/cleared(0), v1=burn rate ×1000, v2=window completions
 };
 
 /** @return a short stable name for @p kind ("query", "queue", ...). */

@@ -112,6 +112,7 @@ MilpSolver::solve(const LinearProgram& lp,
 
     std::int64_t nodes = 0;
     bool hit_node_limit = false;
+    bool hit_work_limit = false;
     bool hit_time_limit = false;
     bool root_infeasible = false;
     bool root_unbounded = false;
@@ -215,6 +216,13 @@ MilpSolver::solve(const LinearProgram& lp,
             hit_node_limit = true;
             break;
         }
+        // Checked before the wall clock so that when both limits
+        // would fire, the deterministic one decides the outcome.
+        if (options_.work_limit_iters > 0 &&
+            stats_.simplex_iterations >= options_.work_limit_iters) {
+            hit_work_limit = true;
+            break;
+        }
         if (timeUp()) {
             hit_time_limit = true;
             break;
@@ -299,7 +307,7 @@ MilpSolver::solve(const LinearProgram& lp,
     if (best.status == SolveStatus::Feasible) {
         // Compute the tightest remaining dual bound.
         double dual = incumbent;
-        if (hit_node_limit || hit_time_limit) {
+        if (hit_node_limit || hit_work_limit || hit_time_limit) {
             dual = best_dual;
             if (!open.empty())
                 dual = std::min(best_dual, open.top().parent_bound);
@@ -310,7 +318,7 @@ MilpSolver::solve(const LinearProgram& lp,
         double gap = std::abs(dual - incumbent) /
                      std::max(1.0, std::abs(incumbent));
         stats_.gap = gap;
-        if (!hit_node_limit && !hit_time_limit) {
+        if (!hit_node_limit && !hit_work_limit && !hit_time_limit) {
             best.status = SolveStatus::Optimal;
         } else if (gap <= options_.gap_tol) {
             best.status = SolveStatus::Optimal;
@@ -321,7 +329,7 @@ MilpSolver::solve(const LinearProgram& lp,
 
     if (hit_time_limit) {
         best.status = SolveStatus::TimeLimit;
-    } else if (hit_node_limit) {
+    } else if (hit_node_limit || hit_work_limit) {
         best.status = SolveStatus::IterLimit;
     } else {
         best.status = SolveStatus::Infeasible;

@@ -33,8 +33,17 @@ class MilpSolver
         /** Hard cap on branch-and-bound nodes. */
         std::int64_t max_nodes = 1000000;
         /**
+         * Deterministic work budget: total simplex iterations across
+         * all LP solves; 0 disables the limit. Unlike time_limit_sec
+         * this counts machine-independent work, so a truncated solve
+         * returns the same incumbent regardless of machine load.
+         */
+        std::int64_t work_limit_iters = 0;
+        /**
          * Wall-clock budget in seconds; 0 disables the limit. The
-         * paper caps Gurobi at 60 s (§6.8).
+         * paper caps Gurobi at 60 s (§6.8). Kept as a backstop behind
+         * work_limit_iters — the one sanctioned nondeterministic
+         * truncation (DESIGN.md, "Static analysis").
          */
         double time_limit_sec = 60.0;
         /** Run the rounding heuristic every this many nodes. */

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * SloMonitor unit tests: window ratio/burn math, bucket eviction as
+ * simulated time advances, alarm hysteresis (raise at burn_high,
+ * clear below burn_low), the min_count gate, and the SloAlarm spans
+ * plus registry counters emitted on crossings.
+ */
+
+#include "obs/slo_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace proteus {
+namespace {
+
+obs::SloMonitorOptions
+testOptions()
+{
+    obs::SloMonitorOptions opt;
+    opt.window = seconds(10.0);
+    opt.buckets = 10;
+    opt.budget = 0.1;
+    opt.burn_high = 1.0;
+    opt.burn_low = 0.5;
+    opt.min_count = 5;
+    return opt;
+}
+
+/** Advance @p sim to @p t without side effects. */
+void
+advanceTo(Simulator* sim, Time t)
+{
+    sim->scheduleAt(t, [] {});
+    sim->run(t);
+}
+
+TEST(SloMonitorTest, RatioAndBurnMath)
+{
+    Simulator sim;
+    obs::SloMonitor mon(&sim, testOptions());
+    for (int i = 0; i < 10; ++i)
+        mon.onOutcome(0, i < 2);  // 2 of 10 violated
+
+    EXPECT_EQ(mon.windowCompleted(0), 10u);
+    EXPECT_DOUBLE_EQ(mon.violationRatio(0), 0.2);
+    EXPECT_DOUBLE_EQ(mon.burnRate(0), 2.0);  // 0.2 / budget 0.1
+    // An unknown family reads as zero, not a crash.
+    EXPECT_DOUBLE_EQ(mon.violationRatio(42), 0.0);
+    EXPECT_EQ(mon.windowCompleted(42), 0u);
+}
+
+TEST(SloMonitorTest, WindowEvictsOldBuckets)
+{
+    Simulator sim;
+    obs::SloMonitor mon(&sim, testOptions());
+    for (int i = 0; i < 10; ++i)
+        mon.onOutcome(0, true);
+    EXPECT_DOUBLE_EQ(mon.violationRatio(0), 1.0);
+
+    // Half a window later the old bucket is still inside.
+    advanceTo(&sim, seconds(5.0));
+    EXPECT_EQ(mon.windowCompleted(0), 10u);
+
+    // A full window later everything has evicted.
+    advanceTo(&sim, seconds(11.0));
+    EXPECT_EQ(mon.windowCompleted(0), 0u);
+    EXPECT_DOUBLE_EQ(mon.violationRatio(0), 0.0);
+    EXPECT_DOUBLE_EQ(mon.burnRate(0), 0.0);
+}
+
+TEST(SloMonitorTest, PartialEvictionDropsOnlyStaleBuckets)
+{
+    Simulator sim;
+    obs::SloMonitor mon(&sim, testOptions());
+    mon.onOutcome(0, true);  // bucket at t=0
+    advanceTo(&sim, seconds(6.0));
+    for (int i = 0; i < 4; ++i)
+        mon.onOutcome(0, false);  // bucket at t=6
+
+    EXPECT_EQ(mon.windowCompleted(0), 5u);
+    EXPECT_DOUBLE_EQ(mon.violationRatio(0), 0.2);
+
+    // t=10.5: the t=0 bucket leaves, the t=6 bucket stays.
+    advanceTo(&sim, seconds(10.5));
+    EXPECT_EQ(mon.windowCompleted(0), 4u);
+    EXPECT_DOUBLE_EQ(mon.violationRatio(0), 0.0);
+}
+
+TEST(SloMonitorTest, AlarmHysteresis)
+{
+    Simulator sim;
+    obs::SloMonitor mon(&sim, testOptions());
+
+    // 3 violations in 10 completions: burn 3.0 >= burn_high -> raise.
+    for (int i = 0; i < 10; ++i)
+        mon.onOutcome(0, i < 3);
+    EXPECT_TRUE(mon.alarmActive(0));
+    EXPECT_EQ(mon.alarmsRaised(), 1u);
+    EXPECT_EQ(mon.alarmsCleared(), 0u);
+
+    // Dilute to burn ~0.75 (3/40/0.1): between low and high, the
+    // raised alarm must hold (no flapping).
+    for (int i = 0; i < 30; ++i)
+        mon.onOutcome(0, false);
+    EXPECT_NEAR(mon.burnRate(0), 0.75, 1e-9);
+    EXPECT_TRUE(mon.alarmActive(0));
+    EXPECT_EQ(mon.alarmsRaised(), 1u);
+
+    // Dilute below burn_low -> clear.
+    for (int i = 0; i < 30; ++i)
+        mon.onOutcome(0, false);
+    EXPECT_LT(mon.burnRate(0), 0.5);
+    EXPECT_FALSE(mon.alarmActive(0));
+    EXPECT_EQ(mon.alarmsCleared(), 1u);
+
+    // A fresh burst raises a second alarm.
+    advanceTo(&sim, seconds(20.0));
+    for (int i = 0; i < 10; ++i)
+        mon.onOutcome(0, true);
+    EXPECT_TRUE(mon.alarmActive(0));
+    EXPECT_EQ(mon.alarmsRaised(), 2u);
+}
+
+TEST(SloMonitorTest, MinCountGatesAlarms)
+{
+    Simulator sim;
+    obs::SloMonitor mon(&sim, testOptions());
+    // 100% violations but below min_count: no alarm yet.
+    for (int i = 0; i < 4; ++i)
+        mon.onOutcome(0, true);
+    EXPECT_FALSE(mon.alarmActive(0));
+    EXPECT_EQ(mon.alarmsRaised(), 0u);
+
+    mon.onOutcome(0, true);  // fifth completion crosses the gate
+    EXPECT_TRUE(mon.alarmActive(0));
+    EXPECT_EQ(mon.alarmsRaised(), 1u);
+}
+
+TEST(SloMonitorTest, FamiliesAreIndependent)
+{
+    Simulator sim;
+    obs::SloMonitor mon(&sim, testOptions());
+    for (int i = 0; i < 10; ++i) {
+        mon.onOutcome(0, true);
+        mon.onOutcome(1, false);
+    }
+    EXPECT_TRUE(mon.alarmActive(0));
+    EXPECT_FALSE(mon.alarmActive(1));
+    EXPECT_DOUBLE_EQ(mon.violationRatio(1), 0.0);
+}
+
+TEST(SloMonitorTest, CrossingsEmitSpansAndCounters)
+{
+    Simulator sim;
+    obs::Tracer tracer(64);
+    obs::MetricsRegistry registry;
+    obs::SloMonitor mon(&sim, testOptions());
+    mon.setTracer(&tracer);
+    mon.setRegistry(&registry);
+
+    for (int i = 0; i < 10; ++i)
+        mon.onOutcome(3, true);  // raise
+    for (int i = 0; i < 200; ++i)
+        mon.onOutcome(3, false);  // clear
+
+    int raised_spans = 0;
+    int cleared_spans = 0;
+    for (const obs::SpanRecord& s : tracer.spans()) {
+        if (s.kind != obs::SpanKind::SloAlarm)
+            continue;
+        EXPECT_EQ(s.a, 3u);
+        if (s.v0 == 1)
+            ++raised_spans;
+        else
+            ++cleared_spans;
+    }
+    EXPECT_EQ(raised_spans, 1);
+    EXPECT_EQ(cleared_spans, 1);
+
+    const auto& counters = registry.counters();
+    auto raised = counters.find("slo.alarms_raised");
+    auto cleared = counters.find("slo.alarms_cleared");
+    ASSERT_NE(raised, counters.end());
+    ASSERT_NE(cleared, counters.end());
+    EXPECT_EQ(raised->second->value(), 1u);
+    EXPECT_EQ(cleared->second->value(), 1u);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "solver/lp.h"
 
@@ -151,6 +154,77 @@ TEST(MilpTest, NodeLimitReturnsFeasibleOrLimit)
     } else {
         EXPECT_EQ(sol.status, SolveStatus::IterLimit);
     }
+}
+
+/** A branchy knapsack whose LP relaxation is fractional. */
+LinearProgram
+branchyKnapsack()
+{
+    LinearProgram lp;
+    const double profit[] = {9.0, 8.0, 7.5, 7.0, 6.5, 6.0, 5.5, 5.0};
+    const double weight[] = {3.1, 2.9, 2.7, 2.5, 2.3, 2.1, 1.9, 1.7};
+    std::vector<std::pair<int, double>> row;
+    for (int i = 0; i < 8; ++i) {
+        std::string name = "x";
+        name += std::to_string(i);
+        int v = lp.addIntVariable(0.0, 1.0, profit[i], name);
+        row.emplace_back(v, weight[i]);
+    }
+    lp.addConstraint(row, RowSense::LessEqual, 9.05);
+    return lp;
+}
+
+TEST(MilpTest, WorkBudgetTruncatesDeterministically)
+{
+    MilpSolver::Options opts;
+    opts.work_limit_iters = 4;  // binds before optimality is proven
+    LinearProgram lp = branchyKnapsack();
+
+    MilpSolver a(opts);
+    Solution sa = a.solve(lp);
+    MilpSolver b(opts);
+    Solution sb = b.solve(lp);
+
+    // Work-truncated solves are machine-independent: identical
+    // status, incumbent and iteration count on every repetition.
+    EXPECT_EQ(sa.status, sb.status);
+    EXPECT_EQ(sa.objective, sb.objective);
+    EXPECT_EQ(sa.x, sb.x);
+    EXPECT_EQ(a.lastStats().simplex_iterations,
+              b.lastStats().simplex_iterations);
+    EXPECT_NE(sa.status, SolveStatus::Optimal);
+    if (sa.hasSolution()) {
+        EXPECT_TRUE(lp.isFeasible(sa.x, 1e-6));
+    }
+}
+
+TEST(MilpTest, WorkBudgetLargeMatchesUnbudgeted)
+{
+    LinearProgram lp = branchyKnapsack();
+    Solution free_solve = MilpSolver().solve(lp);
+    ASSERT_EQ(free_solve.status, SolveStatus::Optimal);
+
+    MilpSolver::Options opts;
+    opts.work_limit_iters = 1 << 20;
+    Solution budgeted = MilpSolver(opts).solve(lp);
+    ASSERT_EQ(budgeted.status, SolveStatus::Optimal);
+    EXPECT_EQ(budgeted.objective, free_solve.objective);
+    EXPECT_EQ(budgeted.x, free_solve.x);
+}
+
+TEST(MilpTest, WorkBudgetStopsSearchEarly)
+{
+    LinearProgram lp = branchyKnapsack();
+    MilpSolver free_solver;
+    free_solver.solve(lp);
+    const std::int64_t full_nodes = free_solver.lastStats().nodes;
+    ASSERT_GT(full_nodes, 1);
+
+    MilpSolver::Options opts;
+    opts.work_limit_iters = 4;
+    MilpSolver budgeted(opts);
+    budgeted.solve(lp);
+    EXPECT_LT(budgeted.lastStats().nodes, full_nodes);
 }
 
 }  // namespace

@@ -34,14 +34,27 @@ run_pass() {
 
 trace_smoke() {
     # End-to-end observability smoke: run one bench binary with span
-    # tracing enabled and make sure the trace analyser can read the
-    # result back.
+    # tracing and timeline sampling enabled, make sure the trace
+    # analyser and dashboard renderer can read the results back, and
+    # that bench_diff accepts a report compared against itself.
     local dir="$1"
-    local trace="${dir}/trace_smoke.json"
-    echo "=== trace smoke: fig05_bursty + proteus_trace ==="
-    PROTEUS_TRACE_FILE="${trace}" "${dir}/bench/fig05_bursty" > /dev/null
-    "${dir}/tools/proteus_trace" "${trace}" > /dev/null
-    echo "trace smoke OK (${trace})"
+    echo "=== obs smoke: fig05_bursty + proteus_trace ==="
+    (cd "${dir}" &&
+         PROTEUS_TRACE_FILE=trace_smoke.json \
+         PROTEUS_TIMELINE_FILE=timeline_smoke.json \
+         ./bench/fig05_bursty > /dev/null)
+    "${dir}/tools/proteus_trace" "${dir}/trace_smoke.json" > /dev/null
+    echo "=== obs smoke: observability config + proteus_report ==="
+    (cd "${dir}" &&
+         ./tools/proteus_sim ../config/observability.json --quiet \
+             > /dev/null &&
+         ./tools/proteus_report observability_timeline.json \
+             --trace observability_trace.json \
+             --out observability_report.html > /dev/null)
+    echo "=== obs smoke: bench_diff self-compare ==="
+    "${dir}/tools/bench_diff" "${dir}/BENCH_fig05_bursty.json" \
+        "${dir}/BENCH_fig05_bursty.json" > /dev/null
+    echo "obs smoke OK (${dir}/observability_report.html)"
 }
 
 lint_pass() {

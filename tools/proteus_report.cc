@@ -1,0 +1,605 @@
+/**
+ * @file
+ * proteus_report: render a sampled observability timeline (the JSON
+ * written by TimeSeriesRecorder via --timeline-json / the
+ * PROTEUS_TIMELINE_FILE hook) — and optionally a Chrome trace — into
+ * one self-contained HTML dashboard: inline SVG line charts, a
+ * legend and hover read-out per chart, per-phase span breakdowns,
+ * and a data-table view. No external scripts, stylesheets or fonts;
+ * the file opens offline and uploads cleanly as a CI artifact.
+ *
+ * Usage:
+ *   proteus_report <timeline.json> [--trace <trace.json>]
+ *                  [--out <report.html>] [--title <title>]
+ *
+ * Channels named "<group>.<entity>.<metric>" are folded into one
+ * chart per "<group>.<metric>" with one series per entity (all
+ * device utilizations together, all family burn rates together);
+ * two-part names become single-series charts. Charts cap at eight
+ * series — the palette's fixed slot count — and note any overflow;
+ * every series is always present in the chart's data table.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace {
+
+using proteus::JsonValue;
+
+constexpr int kChartW = 860;
+constexpr int kChartH = 240;
+constexpr int kPadL = 58;
+constexpr int kPadR = 14;
+constexpr int kPadT = 12;
+constexpr int kPadB = 28;
+constexpr std::size_t kMaxSeriesPerChart = 8;
+constexpr std::size_t kMaxTableRows = 512;
+
+struct Series {
+    std::string label;
+    std::vector<double> values;
+};
+
+struct Chart {
+    std::string title;
+    std::vector<Series> series;
+};
+
+struct PhaseStat {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+};
+
+std::string
+fmt(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+escapeHtml(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Round @p raw up to a 1/2/5 x 10^k "nice" tick step. */
+double
+niceStep(double raw)
+{
+    if (raw <= 0.0)
+        return 1.0;
+    const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+    const double frac = raw / mag;
+    if (frac <= 1.0)
+        return mag;
+    if (frac <= 2.0)
+        return 2.0 * mag;
+    if (frac <= 5.0)
+        return 5.0 * mag;
+    return 10.0 * mag;
+}
+
+std::vector<double>
+ticksFor(double lo, double hi, int target)
+{
+    std::vector<double> ticks;
+    const double step = niceStep((hi - lo) / std::max(1, target));
+    const double first = std::ceil(lo / step) * step;
+    for (double t = first; t <= hi + step * 1e-9; t += step) {
+        // Snap -0 and accumulated float error to the tick grid.
+        ticks.push_back(std::round(t / step) * step);
+    }
+    return ticks;
+}
+
+/**
+ * Fold flat channel names into charts: "a.b.c" groups under chart
+ * "a.c" with series label "b"; anything else is its own
+ * single-series chart.
+ */
+std::map<std::string, Chart>
+groupChannels(const JsonValue& timeline)
+{
+    std::map<std::string, Chart> charts;
+    if (!timeline.has("channels") || !timeline.at("channels").isArray())
+        return charts;
+    for (const JsonValue& ch : timeline.at("channels").asArray()) {
+        const std::string name = ch.stringOr("name", "");
+        if (name.empty() || !ch.has("values") ||
+            !ch.at("values").isArray()) {
+            continue;
+        }
+        std::vector<double> values;
+        for (const JsonValue& v : ch.at("values").asArray())
+            values.push_back(v.isNumber() ? v.asNumber() : 0.0);
+
+        const auto dot1 = name.find('.');
+        const auto dot2 = name.rfind('.');
+        std::string chart_key = name;
+        std::string label = name;
+        if (dot1 != std::string::npos && dot2 != dot1) {
+            chart_key = name.substr(0, dot1) + "." + name.substr(dot2 + 1);
+            label = name.substr(dot1 + 1, dot2 - dot1 - 1);
+        }
+        Chart& chart = charts[chart_key];
+        chart.title = chart_key;
+        chart.series.push_back(Series{label, std::move(values)});
+    }
+    return charts;
+}
+
+/** Join @p vals as a comma-separated %.6g list (data attributes). */
+std::string
+joinValues(const std::vector<double>& vals)
+{
+    std::string out;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        if (i)
+            out += ',';
+        out += fmt(vals[i]);
+    }
+    return out;
+}
+
+void
+appendChart(std::string* html, const Chart& chart,
+            const std::vector<double>& times)
+{
+    const std::size_t shown =
+        std::min(chart.series.size(), kMaxSeriesPerChart);
+    const double t0 = times.empty() ? 0.0 : times.front();
+    const double t1 = times.empty() ? 1.0 : times.back();
+    double lo = 0.0;
+    double hi = 0.0;
+    bool any = false;
+    for (std::size_t s = 0; s < shown; ++s) {
+        for (double v : chart.series[s].values) {
+            if (!std::isfinite(v))
+                continue;
+            lo = any ? std::min(lo, v) : v;
+            hi = any ? std::max(hi, v) : v;
+            any = true;
+        }
+    }
+    if (!any) {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    if (lo > 0.0)
+        lo = 0.0;  // anchor positive series at zero
+    if (hi <= lo)
+        hi = lo + 1.0;
+
+    const double x0 = kPadL;
+    const double x1 = kChartW - kPadR;
+    const double y0 = kChartH - kPadB;
+    const double y1 = kPadT;
+    const auto xOf = [&](double t) {
+        return t1 > t0 ? x0 + (t - t0) / (t1 - t0) * (x1 - x0) : x0;
+    };
+    const auto yOf = [&](double v) {
+        return y0 + (v - lo) / (hi - lo) * (y1 - y0);
+    };
+
+    *html += "<section class=\"card\">\n";
+    *html += "<h2>" + escapeHtml(chart.title) + "</h2>\n";
+    *html += "<div class=\"plot\">\n";
+    *html += "<svg class=\"chart\" viewBox=\"0 0 " +
+             std::to_string(kChartW) + " " + std::to_string(kChartH) +
+             "\" data-t0=\"" + fmt(t0) + "\" data-t1=\"" + fmt(t1) +
+             "\" data-x0=\"" + fmt(x0) + "\" data-x1=\"" + fmt(x1) +
+             "\" data-times=\"" + joinValues(times) +
+             "\" role=\"img\" aria-label=\"" + escapeHtml(chart.title) +
+             "\">\n";
+
+    // Recessive grid + y tick labels (muted ink, never series color).
+    for (double t : ticksFor(lo, hi, 4)) {
+        const double y = yOf(t);
+        *html += "<line class=\"grid\" x1=\"" + fmt(x0) + "\" y1=\"" +
+                 fmt(y) + "\" x2=\"" + fmt(x1) + "\" y2=\"" + fmt(y) +
+                 "\"/>\n";
+        *html += "<text class=\"tick\" x=\"" + fmt(x0 - 6) + "\" y=\"" +
+                 fmt(y + 4) + "\" text-anchor=\"end\">" + fmt(t) +
+                 "</text>\n";
+    }
+    for (double t : ticksFor(t0, t1, 6)) {
+        const double x = xOf(t);
+        *html += "<text class=\"tick\" x=\"" + fmt(x) + "\" y=\"" +
+                 fmt(y0 + 18) + "\" text-anchor=\"middle\">" + fmt(t) +
+                 "</text>\n";
+    }
+    *html += "<line class=\"axis\" x1=\"" + fmt(x0) + "\" y1=\"" +
+             fmt(y0) + "\" x2=\"" + fmt(x1) + "\" y2=\"" + fmt(y0) +
+             "\"/>\n";
+    *html += "<line class=\"axis\" x1=\"" + fmt(x0) + "\" y1=\"" +
+             fmt(y1) + "\" x2=\"" + fmt(x0) + "\" y2=\"" + fmt(y0) +
+             "\"/>\n";
+    *html += "<text class=\"tick\" x=\"" + fmt((x0 + x1) / 2) +
+             "\" y=\"" + fmt(static_cast<double>(kChartH - 2)) +
+             "\" text-anchor=\"middle\">time (s)</text>\n";
+
+    for (std::size_t s = 0; s < shown; ++s) {
+        const Series& series = chart.series[s];
+        std::string points;
+        const std::size_t n =
+            std::min(series.values.size(), times.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i)
+                points += ' ';
+            points += fmt(xOf(times[i])) + "," + fmt(yOf(series.values[i]));
+        }
+        *html += "<polyline class=\"s" + std::to_string(s + 1) +
+                 "\" data-name=\"" + escapeHtml(series.label) +
+                 "\" data-vals=\"" + joinValues(series.values) +
+                 "\" points=\"" + points + "\"/>\n";
+    }
+    *html += "<line class=\"cross\" x1=\"0\" y1=\"" + fmt(y1) +
+             "\" x2=\"0\" y2=\"" + fmt(y0) +
+             "\" style=\"display:none\"/>\n";
+    *html += "</svg>\n</div>\n";
+
+    // Legend: identity never rides on color alone; one series needs
+    // no legend box (the title names it).
+    if (chart.series.size() > 1) {
+        *html += "<div class=\"legend\">";
+        for (std::size_t s = 0; s < shown; ++s) {
+            *html += "<span class=\"key\"><span class=\"swatch s" +
+                     std::to_string(s + 1) + "\"></span>" +
+                     escapeHtml(chart.series[s].label) + "</span>";
+        }
+        *html += "</div>\n";
+    }
+    if (chart.series.size() > shown) {
+        *html += "<p class=\"note\">+" +
+                 std::to_string(chart.series.size() - shown) +
+                 " series beyond the 8-color palette omitted from the "
+                 "plot; all series are in the data table.</p>\n";
+    }
+
+    // Table view (the accessibility fallback), downsampled with an
+    // explicit note rather than silently truncated.
+    const std::size_t rows = times.size();
+    const std::size_t stride =
+        rows > kMaxTableRows ? (rows + kMaxTableRows - 1) / kMaxTableRows
+                             : 1;
+    *html += "<details><summary>Data table (" + std::to_string(rows) +
+             " samples" +
+             (stride > 1 ? ", every " + std::to_string(stride) + "th shown"
+                         : std::string()) +
+             ")</summary>\n<table><tr><th>t_s</th>";
+    for (const Series& s : chart.series)
+        *html += "<th>" + escapeHtml(s.label) + "</th>";
+    *html += "</tr>\n";
+    for (std::size_t i = 0; i < rows; i += stride) {
+        *html += "<tr><td>" + fmt(times[i]) + "</td>";
+        for (const Series& s : chart.series) {
+            *html += "<td>" +
+                     (i < s.values.size() ? fmt(s.values[i])
+                                          : std::string("-")) +
+                     "</td>";
+        }
+        *html += "</tr>\n";
+    }
+    *html += "</table></details>\n</section>\n";
+}
+
+/** Aggregate complete ("X") and instant ("I"/"i") trace events. */
+std::map<std::string, PhaseStat>
+phaseStats(const JsonValue& trace)
+{
+    std::map<std::string, PhaseStat> stats;
+    if (!trace.has("traceEvents") || !trace.at("traceEvents").isArray())
+        return stats;
+    for (const JsonValue& ev : trace.at("traceEvents").asArray()) {
+        const std::string ph = ev.stringOr("ph", "");
+        const std::string name = ev.stringOr("name", "");
+        if (name.empty())
+            continue;
+        if (ph == "X") {
+            PhaseStat& st = stats[name];
+            const double dur = ev.numberOr("dur", 0.0);
+            ++st.count;
+            st.total_us += dur;
+            st.max_us = std::max(st.max_us, dur);
+        } else if (ph == "I" || ph == "i") {
+            ++stats[name].count;
+        }
+    }
+    return stats;
+}
+
+void
+appendPhaseTable(std::string* html,
+                 const std::map<std::string, PhaseStat>& stats)
+{
+    if (stats.empty())
+        return;
+    std::vector<std::pair<std::string, PhaseStat>> rows(stats.begin(),
+                                                        stats.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.second.total_us != b.second.total_us)
+                      return a.second.total_us > b.second.total_us;
+                  return a.first < b.first;
+              });
+    *html += "<section class=\"card\">\n<h2>trace phase breakdown</h2>\n";
+    *html += "<table><tr><th>phase</th><th>count</th><th>total_ms</th>"
+             "<th>mean_ms</th><th>max_ms</th></tr>\n";
+    for (const auto& [name, st] : rows) {
+        const double mean =
+            st.count > 0
+                ? st.total_us / static_cast<double>(st.count)
+                : 0.0;
+        *html += "<tr><td>" + escapeHtml(name) + "</td><td>" +
+                 std::to_string(st.count) + "</td><td>" +
+                 fmt(st.total_us / 1000.0) + "</td><td>" +
+                 fmt(mean / 1000.0) + "</td><td>" +
+                 fmt(st.max_us / 1000.0) + "</td></tr>\n";
+    }
+    *html += "</table>\n</section>\n";
+}
+
+/**
+ * Style block: palette slots and chrome as CSS custom properties so
+ * the dark values swap in one place; chart bodies reference roles,
+ * never raw hex. Slot order is the CVD-validated order — fixed,
+ * never cycled.
+ */
+const char* kStyle = R"css(<style>
+body { margin: 0; padding: 24px; background: var(--page);
+  color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+.viz-root {
+  color-scheme: light;
+  --page: #f9f9f7; --surface: #fcfcfb;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface: #1a1a19;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 14px; font-weight: 600; margin: 0 0 8px;
+  color: var(--ink-2); }
+.meta { color: var(--muted); margin: 0 0 20px; }
+.card { background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin: 0 0 16px; }
+.plot { position: relative; }
+svg.chart { width: 100%; height: auto; display: block; }
+svg.chart polyline { fill: none; stroke-width: 2;
+  stroke-linejoin: round; stroke-linecap: round; }
+.s1 { stroke: var(--series-1); } .s2 { stroke: var(--series-2); }
+.s3 { stroke: var(--series-3); } .s4 { stroke: var(--series-4); }
+.s5 { stroke: var(--series-5); } .s6 { stroke: var(--series-6); }
+.s7 { stroke: var(--series-7); } .s8 { stroke: var(--series-8); }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--axis); stroke-width: 1; }
+.cross { stroke: var(--axis); stroke-width: 1; }
+.tick { fill: var(--muted); font-size: 11px;
+  font-variant-numeric: tabular-nums; }
+.legend { margin-top: 8px; color: var(--ink-2); font-size: 12px; }
+.key { margin-right: 14px; white-space: nowrap; }
+.swatch { display: inline-block; width: 12px; height: 12px;
+  border-radius: 3px; margin-right: 5px; vertical-align: -1px; }
+.swatch.s1 { background: var(--series-1); }
+.swatch.s2 { background: var(--series-2); }
+.swatch.s3 { background: var(--series-3); }
+.swatch.s4 { background: var(--series-4); }
+.swatch.s5 { background: var(--series-5); }
+.swatch.s6 { background: var(--series-6); }
+.swatch.s7 { background: var(--series-7); }
+.swatch.s8 { background: var(--series-8); }
+.note { color: var(--muted); font-size: 12px; margin: 6px 0 0; }
+details { margin-top: 8px; color: var(--ink-2); font-size: 12px; }
+summary { cursor: pointer; color: var(--muted); }
+table { border-collapse: collapse; margin-top: 6px;
+  font-variant-numeric: tabular-nums; }
+th, td { border: 1px solid var(--grid); padding: 3px 8px;
+  text-align: right; }
+th { color: var(--ink-2); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+.tip { position: absolute; display: none; pointer-events: none;
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 6px; padding: 6px 9px; font-size: 12px;
+  color: var(--ink-2); box-shadow: 0 2px 8px rgba(0,0,0,0.15);
+  font-variant-numeric: tabular-nums; }
+.tip b { color: var(--ink); }
+</style>
+)css";
+
+/** Hover layer: crosshair + nearest-sample read-out per chart. */
+const char* kScript = R"js(<script>
+(function () {
+  'use strict';
+  function attach(svg) {
+    var times = svg.getAttribute('data-times');
+    if (!times) return;
+    times = times.split(',').map(Number);
+    var series = [];
+    var lines = svg.querySelectorAll('polyline[data-name]');
+    for (var i = 0; i < lines.length; ++i) {
+      series.push({ name: lines[i].getAttribute('data-name'),
+                    vals: lines[i].getAttribute('data-vals')
+                             .split(',').map(Number) });
+    }
+    var tip = document.createElement('div');
+    tip.className = 'tip';
+    svg.parentNode.appendChild(tip);
+    var x0 = +svg.getAttribute('data-x0');
+    var x1 = +svg.getAttribute('data-x1');
+    var t0 = +svg.getAttribute('data-t0');
+    var t1 = +svg.getAttribute('data-t1');
+    var cross = svg.querySelector('.cross');
+    svg.addEventListener('mousemove', function (ev) {
+      if (!times.length) return;
+      var r = svg.getBoundingClientRect();
+      var vw = svg.viewBox.baseVal.width;
+      var px = (ev.clientX - r.left) * (vw / r.width);
+      var t = t1 > t0 ? t0 + (px - x0) / (x1 - x0) * (t1 - t0) : t0;
+      var idx = 0, best = Infinity;
+      for (var k = 0; k < times.length; ++k) {
+        var d = Math.abs(times[k] - t);
+        if (d < best) { best = d; idx = k; }
+      }
+      var cx = t1 > t0 ? x0 + (times[idx] - t0) / (t1 - t0) * (x1 - x0)
+                       : x0;
+      cross.setAttribute('x1', cx);
+      cross.setAttribute('x2', cx);
+      cross.style.display = 'block';
+      var html = '<b>t = ' + times[idx] + ' s</b>';
+      for (var s = 0; s < series.length; ++s) {
+        html += '<br>' + series[s].name + ': ' + series[s].vals[idx];
+      }
+      tip.innerHTML = html;
+      tip.style.display = 'block';
+      tip.style.left =
+          Math.min(ev.clientX - r.left + 14, r.width - 170) + 'px';
+      tip.style.top = (ev.clientY - r.top + 14) + 'px';
+    });
+    svg.addEventListener('mouseleave', function () {
+      tip.style.display = 'none';
+      cross.style.display = 'none';
+    });
+  }
+  var charts = document.querySelectorAll('svg.chart');
+  for (var i = 0; i < charts.length; ++i) attach(charts[i]);
+})();
+</script>
+)js";
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string timeline_path;
+    std::string trace_path;
+    std::string out_path = "report.html";
+    std::string title = "Proteus run report";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--title" && i + 1 < argc) {
+            title = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "proteus_report: unknown option " << arg << "\n";
+            return 2;
+        } else if (timeline_path.empty()) {
+            timeline_path = arg;
+        } else {
+            std::cerr << "proteus_report: unexpected argument " << arg
+                      << "\n";
+            return 2;
+        }
+    }
+    if (timeline_path.empty()) {
+        std::cerr << "usage: proteus_report <timeline.json> "
+                     "[--trace <trace.json>] [--out <report.html>] "
+                     "[--title <title>]\n";
+        return 2;
+    }
+
+    JsonValue timeline;
+    std::string error;
+    if (!proteus::parseJsonFile(timeline_path, &timeline, &error)) {
+        std::cerr << "proteus_report: cannot parse " << timeline_path
+                  << ": " << error << "\n";
+        return 2;
+    }
+    std::vector<double> times;
+    if (timeline.has("t_s") && timeline.at("t_s").isArray()) {
+        for (const JsonValue& t : timeline.at("t_s").asArray())
+            times.push_back(t.isNumber() ? t.asNumber() : 0.0);
+    }
+    const auto charts = groupChannels(timeline);
+
+    std::map<std::string, PhaseStat> phases;
+    if (!trace_path.empty()) {
+        JsonValue trace;
+        if (!proteus::parseJsonFile(trace_path, &trace, &error)) {
+            std::cerr << "proteus_report: cannot parse " << trace_path
+                      << ": " << error << "\n";
+            return 2;
+        }
+        phases = phaseStats(trace);
+    }
+
+    std::string html;
+    html += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
+    html += "<meta charset=\"utf-8\">\n";
+    html += "<meta name=\"viewport\" "
+            "content=\"width=device-width, initial-scale=1\">\n";
+    html += "<title>" + escapeHtml(title) + "</title>\n";
+    html += kStyle;
+    html += "</head>\n<body class=\"viz-root\">\n";
+    html += "<h1>" + escapeHtml(title) + "</h1>\n";
+    html += "<p class=\"meta\">" + std::to_string(times.size()) +
+            " samples at " +
+            fmt(timeline.numberOr("sample_interval_s", 0.0)) +
+            " s cadence, " + std::to_string(charts.size()) +
+            " charts from " + escapeHtml(timeline_path);
+    const double dropped = timeline.numberOr("dropped_samples", 0.0);
+    if (dropped > 0.0) {
+        html += " (" + fmt(dropped) +
+                " samples dropped at recorder capacity)";
+    }
+    html += "</p>\n";
+
+    for (const auto& [key, chart] : charts)
+        appendChart(&html, chart, times);
+    appendPhaseTable(&html, phases);
+
+    if (charts.empty())
+        html += "<p class=\"meta\">timeline has no channels</p>\n";
+    html += kScript;
+    html += "</body>\n</html>\n";
+
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << html)) {
+        std::cerr << "proteus_report: cannot write " << out_path << "\n";
+        return 2;
+    }
+    std::cout << "proteus_report: wrote " << out_path << " ("
+              << charts.size() << " charts, " << phases.size()
+              << " trace phases)\n";
+    return 0;
+}

@@ -8,10 +8,14 @@
  * Usage:
  *   proteus_sim <config.json> [--csv <timeline.csv>] [--quiet]
  *               [--trace <trace.json>] [--metrics <metrics.json>]
+ *               [--timeline <series.csv>] [--timeline-json <series.json>]
  *
  * --trace enables span tracing and writes a Chrome trace-event file
  * (chrome://tracing / Perfetto); analyse it with proteus_trace.
  * --metrics dumps the metrics registry as JSON.
+ * --timeline / --timeline-json export the sampled observability time
+ * series (per-device utilization, per-family rates, burn rates, ...);
+ * render them with proteus_report.
  */
 
 #include <fstream>
@@ -28,13 +32,17 @@ main(int argc, char** argv)
     if (argc < 2) {
         std::cerr << "usage: proteus_sim <config.json> "
                      "[--csv <timeline.csv>] [--quiet] "
-                     "[--trace <trace.json>] [--metrics <metrics.json>]\n";
+                     "[--trace <trace.json>] [--metrics <metrics.json>] "
+                     "[--timeline <series.csv>] "
+                     "[--timeline-json <series.json>]\n";
         return 2;
     }
     std::string config_path = argv[1];
     std::string csv_path;
     std::string trace_path;
     std::string metrics_path;
+    std::string timeline_csv;
+    std::string timeline_json;
     bool quiet = false;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -44,6 +52,10 @@ main(int argc, char** argv)
             trace_path = argv[++i];
         } else if (arg == "--metrics" && i + 1 < argc) {
             metrics_path = argv[++i];
+        } else if (arg == "--timeline" && i + 1 < argc) {
+            timeline_csv = argv[++i];
+        } else if (arg == "--timeline-json" && i + 1 < argc) {
+            timeline_json = argv[++i];
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -57,6 +69,10 @@ main(int argc, char** argv)
         spec.trace_path = trace_path;
     if (!metrics_path.empty())
         spec.metrics_path = metrics_path;
+    if (!timeline_csv.empty())
+        spec.timeline_csv_path = timeline_csv;
+    if (!timeline_json.empty())
+        spec.timeline_json_path = timeline_json;
     std::cout << "allocator: " << toString(spec.config.allocator)
               << "  batching: " << toString(spec.config.batching)
               << "  cluster: " << spec.cluster.numDevices()
@@ -128,5 +144,13 @@ main(int argc, char** argv)
         std::cout << "trace written to " << spec.trace_path << "\n";
     if (!spec.metrics_path.empty())
         std::cout << "metrics written to " << spec.metrics_path << "\n";
+    if (!spec.timeline_csv_path.empty()) {
+        std::cout << "timeline series written to "
+                  << spec.timeline_csv_path << "\n";
+    }
+    if (!spec.timeline_json_path.empty()) {
+        std::cout << "timeline series written to "
+                  << spec.timeline_json_path << "\n";
+    }
     return 0;
 }

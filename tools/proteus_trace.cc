@@ -192,7 +192,11 @@ main(int argc, char** argv)
               [](const Event* a, const Event* b) {
                   if (a->dur != b->dur)
                       return a->dur > b->dur;
-                  return argOr(*a, "qid", 0) < argOr(*b, "qid", 0);
+                  // Exact integer qid tie-break: comparing the raw
+                  // double arg would go inexact past 2^53 and make
+                  // the top-N order depend on span-buffer layout.
+                  return static_cast<long long>(argOr(*a, "qid", -1)) <
+                         static_cast<long long>(argOr(*b, "qid", -1));
               });
     TextTable slow;
     slow.setHeader({"qid", "family", "variant", "device", "status",
