@@ -112,7 +112,7 @@ printTimeseries(std::ostream& os, const std::string& name,
 /** Schema version stamped into every BENCH_<name>.json. Bump when
  * the result layout changes; bench_diff refuses to compare reports
  * with different schemas. */
-inline constexpr int kBenchSchemaVersion = 2;
+inline constexpr int kBenchSchemaVersion = 3;
 
 /** @return the git SHA baked in at build time (or "unknown"). */
 inline std::string

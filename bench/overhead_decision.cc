@@ -34,7 +34,7 @@ struct RouterBench {
     {
         FamilyId resnet = reg.findFamily("resnet");
         VariantId v = reg.leastAccurate(resnet);
-        std::vector<std::pair<Worker*, double>> shares;
+        std::vector<LoadBalancer::WorkerShare> shares;
         for (DeviceId d = 20; d < 40; ++d) {  // all GPUs
             workers.push_back(std::make_unique<Worker>(
                 &sim, &cluster, d, &reg, &cost, &profiles, nullptr,
@@ -42,9 +42,9 @@ struct RouterBench {
             workers.back()->setBatchingPolicy(
                 std::make_unique<StaticBatching>(1));
             workers.back()->hostVariant(v, true);
-            shares.emplace_back(workers.back().get(), 1.0 / 20.0);
+            shares.push_back({workers.back().get(), 1.0 / 20.0});
         }
-        lb.setRouting(std::move(shares));
+        lb.setRouting(shares);
     }
 
     StandardTypes types;

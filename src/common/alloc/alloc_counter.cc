@@ -1,0 +1,51 @@
+#include "common/alloc/alloc_counter.h"
+
+#include <atomic>
+
+namespace proteus {
+namespace alloc {
+
+namespace {
+// Relaxed: the counters are diagnostics, not synchronisation. They
+// must also be safe to bump from operator new before main() runs,
+// hence constant-initialised atomics rather than function-local
+// statics (whose guard variable would itself recurse into new on some
+// ABIs).
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_active{false};
+}  // namespace
+
+void
+noteHeapAlloc(std::size_t bytes)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t
+heapAllocs()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+heapBytes()
+{
+    return g_bytes.load(std::memory_order_relaxed);
+}
+
+void
+markHeapTallyActive()
+{
+    g_active.store(true, std::memory_order_relaxed);
+}
+
+bool
+heapTallyActive()
+{
+    return g_active.load(std::memory_order_relaxed);
+}
+
+}  // namespace alloc
+}  // namespace proteus

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Heap-allocation accounting shared between the library and the
+ * optional counting operator new (counting_new.cc).
+ *
+ * The counters live here, in proteus_common, so library code and
+ * metrics can always read them; the global operator new/delete
+ * overrides that feed them live in a separate link library
+ * (proteus_counting_new) that only test and bench binaries link.
+ * Binaries without that library see counters frozen at zero, and
+ * heapTallyActive() reports whether the interposer is present.
+ *
+ * ScopedHeapTally brackets a region and reports the allocation count
+ * delta — the primitive behind the "zero steady-state heap
+ * allocations per query" acceptance test.
+ */
+
+#ifndef PROTEUS_COMMON_ALLOC_ALLOC_COUNTER_H_
+#define PROTEUS_COMMON_ALLOC_ALLOC_COUNTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace proteus {
+namespace alloc {
+
+/** Called by the interposing operator new on every allocation. */
+void noteHeapAlloc(std::size_t bytes);
+
+/** Total operator-new calls observed (0 unless counting_new linked). */
+std::uint64_t heapAllocs();
+
+/** Total bytes requested through counted allocations. */
+std::uint64_t heapBytes();
+
+/** Mark the interposer present; called once from counting_new.cc. */
+void markHeapTallyActive();
+
+/** True when the counting operator new is linked into this binary. */
+bool heapTallyActive();
+
+/** Allocation-count delta over a scope. */
+class ScopedHeapTally
+{
+  public:
+    ScopedHeapTally() : start_(heapAllocs()) {}
+
+    /** Allocations observed since construction. */
+    std::uint64_t count() const { return heapAllocs() - start_; }
+
+  private:
+    std::uint64_t start_;
+};
+
+}  // namespace alloc
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_ALLOC_ALLOC_COUNTER_H_

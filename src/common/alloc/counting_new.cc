@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Interposable counting operator new/delete.
+ *
+ * Built as its own library (proteus_counting_new) and linked ONLY
+ * into binaries that want allocation accounting — the tests/alloc
+ * suite and the events_per_sec bench. Linking it replaces the global
+ * allocation functions for the whole binary, so every `new` in any
+ * linked code is tallied through alloc_counter. Production binaries
+ * never link this file and pay nothing.
+ *
+ * Only the counting is added; allocation still goes through malloc /
+ * free, so sanitizers and malloc debuggers keep working.
+ */
+
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc/alloc_counter.h"
+
+namespace {
+
+struct ActivateTally {
+    ActivateTally() { proteus::alloc::markHeapTallyActive(); }
+};
+ActivateTally g_activate;
+
+void*
+countedAlloc(std::size_t size)
+{
+    proteus::alloc::noteHeapAlloc(size);
+    void* p = std::malloc(size == 0 ? 1 : size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+}  // namespace
+
+void*
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void*
+operator new(std::size_t size, const std::nothrow_t&) noexcept
+{
+    proteus::alloc::noteHeapAlloc(size);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void*
+operator new[](std::size_t size, const std::nothrow_t&) noexcept
+{
+    proteus::alloc::noteHeapAlloc(size);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * FrameArena: linear (bump-pointer) allocator reset wholesale at epoch
+ * boundaries, plus ArenaVector, a contiguous sequence that draws its
+ * storage from the arena.
+ *
+ * The controller's decision path builds transient structures every
+ * epoch — per-family routing share lists, batch staging vectors,
+ * solver scratch — whose lifetimes all end when the decision is
+ * applied. A frame arena matches that lifetime exactly: allocation is
+ * a pointer bump, and reset() reclaims everything at once without
+ * running destructors (so only trivially-destructible payloads are
+ * allowed, enforced at compile time in ArenaVector).
+ *
+ * The arena keeps its high-water block between frames: after warm-up
+ * no frame touches the heap. Blocks are chained, not reallocated, so
+ * pointers handed out during a frame stay valid until reset().
+ */
+
+#ifndef PROTEUS_COMMON_ALLOC_FRAME_ARENA_H_
+#define PROTEUS_COMMON_ALLOC_FRAME_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace proteus {
+namespace alloc {
+
+class FrameArena
+{
+  public:
+    /** @param block_size bytes per backing block. */
+    explicit FrameArena(std::size_t block_size = 64 * 1024)
+        : block_size_(block_size)
+    {
+    }
+
+    FrameArena(const FrameArena&) = delete;
+    FrameArena& operator=(const FrameArena&) = delete;
+
+    /**
+     * Allocate @p bytes with @p align alignment, valid until the next
+     * reset(). Oversized requests get a dedicated block.
+     */
+    void*
+    allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t))
+    {
+        assert((align & (align - 1)) == 0 && "alignment must be pow2");
+        std::size_t offset = (cursor_ + align - 1) & ~(align - 1);
+        if (current_ >= blocks_.size() ||
+            offset + bytes > blocks_[current_].size) {
+            nextBlock(bytes + align);
+            offset = (cursor_ + align - 1) & ~(align - 1);
+        }
+        void* p = blocks_[current_].data.get() + offset;
+        cursor_ = offset + bytes;
+        bytes_used_ += bytes;
+        return p;
+    }
+
+    /** Typed helper: uninitialised storage for @p n objects of T. */
+    template <typename T>
+    T*
+    allocateArray(std::size_t n)
+    {
+        return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Start a new frame: every prior allocation is invalidated, all
+     * blocks are retained for reuse. O(1) — no destructors run.
+     */
+    void
+    reset()
+    {
+        current_ = 0;
+        cursor_ = 0;
+        bytes_used_ = 0;
+    }
+
+    /** Bytes handed out since the last reset(). */
+    std::size_t bytes_used() const { return bytes_used_; }
+
+    /** Total backing capacity across all blocks. */
+    std::size_t
+    capacity() const
+    {
+        std::size_t total = 0;
+        for (const Block& b : blocks_)
+            total += b.size;
+        return total;
+    }
+
+  private:
+    struct Block {
+        std::unique_ptr<unsigned char[]> data;
+        std::size_t size = 0;
+    };
+
+    void
+    nextBlock(std::size_t at_least)
+    {
+        if (current_ < blocks_.size() &&
+            (cursor_ != 0 || blocks_[current_].size > 0)) {
+            // Current block exhausted (or too small): advance.
+            ++current_;
+        }
+        // Reuse a retained block when it is big enough.
+        while (current_ < blocks_.size() &&
+               blocks_[current_].size < at_least) {
+            ++current_;
+        }
+        if (current_ >= blocks_.size()) {
+            const std::size_t size =
+                at_least > block_size_ ? at_least : block_size_;
+            Block b;
+            // NOLINTNEXTLINE-PROTEUS(A1): arena block growth is the sanctioned allocation site; high-water blocks are retained across frames
+            b.data = std::make_unique<unsigned char[]>(size);
+            b.size = size;
+            blocks_.push_back(std::move(b));
+            current_ = blocks_.size() - 1;
+        }
+        cursor_ = 0;
+    }
+
+    std::size_t block_size_;
+    std::size_t current_ = 0;     ///< index of the active block
+    std::size_t cursor_ = 0;      ///< bump offset within the block
+    std::size_t bytes_used_ = 0;
+    std::vector<Block> blocks_;
+};
+
+/**
+ * Contiguous growable sequence backed by a FrameArena. Grow-only
+ * within a frame (grow = allocate a bigger run and memcpy); the
+ * storage is reclaimed implicitly by the arena's reset(). Restricted
+ * to trivially copyable, trivially destructible T because reset()
+ * never runs destructors.
+ */
+template <typename T>
+class ArenaVector
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "ArenaVector payload must be trivial: arena reset "
+                  "does not run destructors");
+
+  public:
+    explicit ArenaVector(FrameArena* arena) : arena_(arena) {}
+
+    void
+    push_back(const T& value)
+    {
+        if (size_ == capacity_)
+            grow();
+        data_[size_++] = value;
+    }
+
+    T& operator[](std::size_t i) { return data_[i]; }
+    const T& operator[](std::size_t i) const { return data_[i]; }
+
+    T* begin() { return data_; }
+    T* end() { return data_ + size_; }
+    const T* begin() const { return data_; }
+    const T* end() const { return data_ + size_; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Forget contents; storage stays with the arena frame. */
+    void clear() { size_ = 0; }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t next = capacity_ == 0 ? 8 : capacity_ * 2;
+        T* bigger = arena_->allocateArray<T>(next);
+        if (size_ > 0)
+            std::memcpy(bigger, data_, size_ * sizeof(T));
+        data_ = bigger;
+        capacity_ = next;
+    }
+
+    FrameArena* arena_;
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+};
+
+}  // namespace alloc
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_ALLOC_FRAME_ARENA_H_

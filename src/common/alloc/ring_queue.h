@@ -1,0 +1,138 @@
+/**
+ * @file
+ * RingQueue<T>: growable circular FIFO with stable amortised-zero
+ * allocation — the replacement for std::deque in worker queues.
+ *
+ * std::deque allocates and frees map/chunk nodes as it drifts, so a
+ * steady-state queue still churns the heap. RingQueue keeps one
+ * contiguous power-of-two buffer that only grows (doubling) and never
+ * shrinks; once the queue has seen its high-water mark, push/pop are
+ * pure index arithmetic. Indexed access (operator[], front/back) and
+ * iteration order match std::deque semantics so batching policies port
+ * without change.
+ */
+
+#ifndef PROTEUS_COMMON_ALLOC_RING_QUEUE_H_
+#define PROTEUS_COMMON_ALLOC_RING_QUEUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+namespace proteus {
+namespace alloc {
+
+template <typename T>
+class RingQueue
+{
+  public:
+    RingQueue() = default;
+
+    RingQueue(const RingQueue&) = delete;
+    RingQueue& operator=(const RingQueue&) = delete;
+    RingQueue(RingQueue&&) = default;
+    RingQueue& operator=(RingQueue&&) = default;
+
+    void
+    push_back(const T& value)
+    {
+        if (size_ == cap_)
+            grow();
+        buf_[(head_ + size_) & (cap_ - 1)] = value;
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        assert(size_ > 0);
+        head_ = (head_ + 1) & (cap_ - 1);
+        --size_;
+    }
+
+    T& front() { return buf_[head_]; }
+    const T& front() const { return buf_[head_]; }
+
+    T& back() { return buf_[(head_ + size_ - 1) & (cap_ - 1)]; }
+    const T& back() const { return buf_[(head_ + size_ - 1) & (cap_ - 1)]; }
+
+    /** @p i counted from the front, deque-style. */
+    T& operator[](std::size_t i) { return buf_[(head_ + i) & (cap_ - 1)]; }
+    const T&
+    operator[](std::size_t i) const
+    {
+        return buf_[(head_ + i) & (cap_ - 1)];
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Drop all elements; capacity (and heap) untouched. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /** Grow backing storage until it can hold @p n without allocating. */
+    void
+    reserve(std::size_t n)
+    {
+        while (cap_ < n)
+            grow();
+    }
+
+    /** Allocated element capacity (power of two). */
+    std::size_t capacity() const { return cap_; }
+
+    /** Forward iterator walking front → back. */
+    class const_iterator
+    {
+      public:
+        const_iterator(const RingQueue* q, std::size_t i) : q_(q), i_(i) {}
+        const T& operator*() const { return (*q_)[i_]; }
+        const_iterator&
+        operator++()
+        {
+            ++i_;
+            return *this;
+        }
+        bool
+        operator!=(const const_iterator& o) const
+        {
+            return i_ != o.i_;
+        }
+
+      private:
+        const RingQueue* q_;
+        std::size_t i_;
+    };
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, size_); }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t next_cap = cap_ == 0 ? 8 : cap_ * 2;
+        // NOLINTNEXTLINE-PROTEUS(A1): doubling growth to the high-water mark; steady state never re-enters
+        auto next = std::make_unique<T[]>(next_cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = buf_[(head_ + i) & (cap_ - 1)];
+        buf_ = std::move(next);
+        cap_ = next_cap;
+        head_ = 0;
+    }
+
+    std::unique_ptr<T[]> buf_;
+    std::size_t cap_ = 0;   ///< always 0 or a power of two
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+}  // namespace alloc
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_ALLOC_RING_QUEUE_H_

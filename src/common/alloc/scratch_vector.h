@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ScratchVector<T>: a std::vector that is meant to be a long-lived
+ * member reused across calls, not a per-call local.
+ *
+ * The idiom: a hot function needs a temporary vector every call.
+ * Declaring it locally costs an allocation per call; declaring the
+ * ScratchVector as a member and calling clear() at the top of the
+ * function keeps the high-water capacity alive, so steady state is
+ * allocation-free. The wrapper exists mostly to make the intent
+ * greppable and to forbid the operations that would silently give the
+ * buffer away (copy/move-out), which is exactly the churn bug this
+ * refactor removes from Worker (see ISSUE 6).
+ */
+
+#ifndef PROTEUS_COMMON_ALLOC_SCRATCH_VECTOR_H_
+#define PROTEUS_COMMON_ALLOC_SCRATCH_VECTOR_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace proteus {
+namespace alloc {
+
+template <typename T>
+class ScratchVector
+{
+  public:
+    ScratchVector() = default;
+
+    // A scratch buffer's capacity is its value: copying or moving it
+    // away defeats the reuse, so both are forbidden.
+    ScratchVector(const ScratchVector&) = delete;
+    ScratchVector& operator=(const ScratchVector&) = delete;
+    ScratchVector(ScratchVector&&) = delete;
+    ScratchVector& operator=(ScratchVector&&) = delete;
+
+    void clear() { v_.clear(); }
+    void push_back(const T& x) { v_.push_back(x); }
+    void push_back(T&& x) { v_.push_back(std::move(x)); }
+
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        v_.assign(first, last);
+    }
+
+    void reserve(std::size_t n) { v_.reserve(n); }
+
+    T& operator[](std::size_t i) { return v_[i]; }
+    const T& operator[](std::size_t i) const { return v_[i]; }
+
+    std::size_t size() const { return v_.size(); }
+    bool empty() const { return v_.empty(); }
+    std::size_t capacity() const { return v_.capacity(); }
+
+    typename std::vector<T>::iterator begin() { return v_.begin(); }
+    typename std::vector<T>::iterator end() { return v_.end(); }
+    typename std::vector<T>::const_iterator begin() const { return v_.begin(); }
+    typename std::vector<T>::const_iterator end() const { return v_.end(); }
+
+    /** Read-only view for APIs that take a const std::vector&. */
+    const std::vector<T>& view() const { return v_; }
+
+  private:
+    std::vector<T> v_;
+};
+
+}  // namespace alloc
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_ALLOC_SCRATCH_VECTOR_H_

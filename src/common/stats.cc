@@ -71,6 +71,15 @@ WindowedRate::record(Time now)
 }
 
 void
+WindowedRate::reserveForRate(double qps)
+{
+    if (qps <= 0.0)
+        return;
+    const double expected = qps * toSeconds(window_);
+    events_.reserve(static_cast<std::size_t>(expected * 2.0) + 8);
+}
+
+void
 WindowedRate::evict(Time now) const
 {
     while (!events_.empty() && events_.front() < now - window_)

@@ -9,9 +9,9 @@
 #define PROTEUS_COMMON_STATS_H_
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
+#include "common/alloc/ring_queue.h"
 #include "common/types.h"
 
 namespace proteus {
@@ -98,11 +98,20 @@ class WindowedRate
     /** @return raw event count inside the window ending at @p now. */
     std::size_t countInWindow(Time now) const;
 
+    /**
+     * Pre-size the ring for an expected sustained rate of @p qps with
+     * 2x headroom, so steady-state recording never grows the buffer
+     * (capacity only — recorded events and rates are unaffected).
+     */
+    void reserveForRate(double qps);
+
   private:
     void evict(Time now) const;
 
     Duration window_;
-    mutable std::deque<Time> events_;
+    /** Ring rather than deque: a steady-state window recycles its
+     *  high-water buffer instead of churning deque chunks per event. */
+    mutable alloc::RingQueue<Time> events_;
 };
 
 /** @return the p-th percentile (0..100) of @p values; 0 when empty. */

@@ -24,21 +24,24 @@
 #ifndef PROTEUS_CORE_BATCHING_H_
 #define PROTEUS_CORE_BATCHING_H_
 
-#include <deque>
 #include <functional>
 #include <memory>
 
+#include "common/alloc/ring_queue.h"
 #include "common/types.h"
 #include "core/query.h"
 #include "models/profiler.h"
 
 namespace proteus {
 
+/** FIFO queue type workers keep their pending queries in. */
+using QueryQueue = alloc::RingQueue<Query*>;
+
 /** Read-only view of a worker's state offered to batching policies. */
 struct WorkerView {
     Time now = 0;
     /** FIFO queue of pending queries (front = oldest). */
-    const std::deque<Query*>* queue = nullptr;
+    const QueryQueue* queue = nullptr;
     /** Profile of the hosted variant on this device type. */
     const BatchProfile* profile = nullptr;
     /** Latency SLO of the family served by the hosted variant. */
@@ -81,6 +84,7 @@ class BatchingPolicy
 
 /** Factory so each worker gets its own (stateful) policy instance. */
 using BatchingPolicyFactory =
+    // NOLINTNEXTLINE-PROTEUS(A1): construction-time factory, not per-query
     std::function<std::unique_ptr<BatchingPolicy>()>;
 
 /**

@@ -170,21 +170,28 @@ Controller::reallocate(bool initial)
         return;
     }
     decision_pending_ = true;
-    sim_->scheduleAfter(delay, [this, decision, solved_at, meta,
-                                p = std::move(plan)]() mutable {
-        decision_pending_ = false;
-        current_ = std::move(p);
-        has_plan_ = true;
-        ++reallocations_;
-        apply_fn_(current_);
-        traceDecision(decision, solved_at, meta);
-        if (resolve_after_apply_) {
-            // Capacity changed while this decision was in flight:
-            // solve again against the surviving hardware.
-            resolve_after_apply_ = false;
-            reallocate(false);
-        }
-    });
+    pending_plan_ = std::move(plan);
+    pending_meta_ = meta;
+    pending_decision_ = decision;
+    pending_solved_at_ = solved_at;
+    sim_->scheduleAfter(delay, [this] { applyPendingPlan(); });
+}
+
+void
+Controller::applyPendingPlan()
+{
+    decision_pending_ = false;
+    current_ = std::move(pending_plan_);
+    has_plan_ = true;
+    ++reallocations_;
+    apply_fn_(current_);
+    traceDecision(pending_decision_, pending_solved_at_, pending_meta_);
+    if (resolve_after_apply_) {
+        // Capacity changed while this decision was in flight:
+        // solve again against the surviving hardware.
+        resolve_after_apply_ = false;
+        reallocate(false);
+    }
 }
 
 }  // namespace proteus

@@ -98,6 +98,9 @@ class Controller
   private:
     void reallocate(bool initial);
 
+    /** Commit the delayed decision staged in the pending_* members. */
+    void applyPendingPlan();
+
     /** Feed the last solve's stats to the registry; @return its seq. */
     std::uint64_t noteSolve(const AllocatorSolveMeta& meta);
 
@@ -129,6 +132,15 @@ class Controller
     bool resolve_after_apply_ = false;
     Time last_start_ = kNoTime;
     int reallocations_ = 0;
+
+    // Staging for the one decision that can be in flight (the MILP's
+    // simulated decision delay). Members rather than closure captures
+    // so the delayed-apply event stores only `this` — an Allocation is
+    // far too big for an inline simulator callback.
+    Allocation pending_plan_;
+    AllocatorSolveMeta pending_meta_;
+    std::uint64_t pending_decision_ = 0;
+    Time pending_solved_at_ = kNoTime;
 };
 
 }  // namespace proteus

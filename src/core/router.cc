@@ -17,16 +17,17 @@ LoadBalancer::LoadBalancer(Simulator* sim, FamilyId family,
 {}
 
 void
-LoadBalancer::setRouting(std::vector<std::pair<Worker*, double>> shares)
+LoadBalancer::setRouting(const WorkerShare* shares, std::size_t count)
 {
     targets_.clear();
     total_weight_ = 0.0;
-    for (auto& [worker, weight] : shares) {
-        if (weight <= 0.0)
+    for (std::size_t i = 0; i < count; ++i) {
+        const WorkerShare& s = shares[i];
+        if (s.weight <= 0.0)
             continue;
-        PROTEUS_ASSERT(worker != nullptr, "null routing target");
-        targets_.push_back(Target{worker, weight, 0.0});
-        total_weight_ += weight;
+        PROTEUS_ASSERT(s.worker != nullptr, "null routing target");
+        targets_.push_back(Target{s.worker, s.weight, 0.0});
+        total_weight_ += s.weight;
     }
     PROTEUS_ASSERT(total_weight_ <= 1.0 + 1e-6,
                    "family ", family_, " routed fraction ",

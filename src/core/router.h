@@ -32,6 +32,7 @@ class LoadBalancer
 {
   public:
     /** Invoked when the monitor detects demand beyond capacity. */
+    // NOLINTNEXTLINE-PROTEUS(A1): installed once at wiring time, not per-query
     using BurstAlarmFn = std::function<void()>;
 
     LoadBalancer(Simulator* sim, FamilyId family,
@@ -41,8 +42,27 @@ class LoadBalancer
     LoadBalancer(const LoadBalancer&) = delete;
     LoadBalancer& operator=(const LoadBalancer&) = delete;
 
-    /** Install the query-assignment policy for this family. */
-    void setRouting(std::vector<std::pair<Worker*, double>> shares);
+    /** One routing entry: target worker and its traffic share.
+     *  Aggregate (not std::pair) so arena staging can rely on trivial
+     *  copyability. */
+    struct WorkerShare {
+        Worker* worker = nullptr;
+        double weight = 0.0;
+    };
+
+    /**
+     * Install the query-assignment policy for this family. The core
+     * form takes a borrowed span so callers can stage shares in
+     * per-epoch arena scratch without materialising a vector.
+     */
+    void setRouting(const WorkerShare* shares, std::size_t count);
+
+    /** Convenience overload for vector-staged shares (tests). */
+    void
+    setRouting(const std::vector<WorkerShare>& shares)
+    {
+        setRouting(shares.data(), shares.size());
+    }
 
     /** Admit a query: route it to a worker or shed it. */
     void submit(Query* query);
@@ -65,9 +85,16 @@ class LoadBalancer
 
     /**
      * Capacity the current plan provisions for this family (QPS);
-     * used by the monitor to detect overload.
+     * used by the monitor to detect overload. Also pre-warms the
+     * demand window's ring so recording at up to twice the planned
+     * rate stays allocation-free.
      */
-    void setPlannedCapacity(double qps) { planned_capacity_ = qps; }
+    void
+    setPlannedCapacity(double qps)
+    {
+        planned_capacity_ = qps;
+        rate_.reserveForRate(qps);
+    }
 
     /** @return queries dropped at admission (load shedding). */
     std::uint64_t shed() const { return shed_; }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "baselines/aimd_batching.h"
+#include "common/alloc/alloc_counter.h"
 #include "baselines/clipper.h"
 #include "baselines/infaas.h"
 #include "baselines/nexus_batching.h"
@@ -45,6 +46,39 @@ class ObsFanout : public QueryObserver
   private:
     QueryObserver* primary_;
     obs::SloMonitor* slo_;
+};
+
+/**
+ * Terminal stage of the observer chain: after every sink has seen the
+ * outcome, the query's pool slot is recycled. This is what keeps
+ * memory bounded on long traces — a finished query's storage is
+ * reused by a later arrival instead of accumulating.
+ */
+class PoolReleaseObserver : public QueryObserver
+{
+  public:
+    PoolReleaseObserver(QueryObserver* inner,
+                        alloc::ObjectPool<Query>* pool)
+        : inner_(inner), pool_(pool)
+    {}
+
+    void onArrival(const Query& query) override
+    {
+        inner_->onArrival(query);
+    }
+
+    void
+    onFinished(const Query& query) override
+    {
+        inner_->onFinished(query);
+        // The pool owns the storage; observers see const refs, but the
+        // lifecycle ends here and ownership returns to the pool.
+        pool_->release(const_cast<Query*>(&query));  // NOLINT-PROTEUS(S1): pool owns the non-const object; observer API is read-only by design
+    }
+
+  private:
+    QueryObserver* inner_;
+    alloc::ObjectPool<Query>* pool_;
 };
 
 }  // namespace
@@ -121,6 +155,11 @@ ServingSystem::ServingSystem(const Cluster* cluster,
         timeseries_ =
             std::make_unique<obs::TimeSeriesRecorder>(&sim_, ts_opts);
     }
+    // Terminal observer stage: recycle finished queries into the pool
+    // after the metrics / SLO sinks ran.
+    pool_release_ =
+        std::make_unique<PoolReleaseObserver>(observer_, &query_pool_);
+    observer_ = pool_release_.get();
 
     // One worker per device. Requeued queries (variant swaps, stale
     // routing) are re-submitted through the family's load balancer on
@@ -322,6 +361,12 @@ ServingSystem::registerTimeSeriesChannels()
     const obs::Gauge* frac = obs_registry_.gauge("solver.work_frac");
     ts->addProbe("solver.work_frac",
                  [frac] { return frac->value(); });
+
+    // Allocation health: live pooled queries. Returning to the same
+    // baseline between epochs is the no-leak invariant (ISSUE 6).
+    ts->addProbe("alloc.pool_in_use", [this] {
+        return static_cast<double>(query_pool_.in_use());
+    });
 }
 
 std::unique_ptr<BatchingPolicy>
@@ -415,12 +460,18 @@ ServingSystem::applyPlan(const Allocation& plan)
     for (DeviceId d = 0; d < workers_.size(); ++d)
         workers_[d]->hostVariant(plan.hosting[d], first_apply_);
 
+    // Decision boundary: everything staged for the previous epoch is
+    // dead, so the frame arena resets wholesale and the share lists
+    // below reuse its high-water blocks.
+    epoch_arena_.reset();
+
     // ... then the query-assignment policy for every application.
     for (FamilyId f = 0; f < balancers_.size(); ++f) {
-        std::vector<std::pair<Worker*, double>> shares;
+        alloc::ArenaVector<LoadBalancer::WorkerShare> shares(
+            &epoch_arena_);
         for (const DeviceShare& s : plan.routing[f])
-            shares.emplace_back(workers_[s.device].get(), s.weight);
-        balancers_[f]->setRouting(std::move(shares));
+            shares.push_back({workers_[s.device].get(), s.weight});
+        balancers_[f]->setRouting(shares.begin(), shares.size());
         // Burst alarms compare observed demand against the demand the
         // plan was sized for, so the controller reacts before the
         // provisioned headroom is exhausted.
@@ -440,9 +491,33 @@ ServingSystem::currentPlan() const
     return controller_->current();
 }
 
-RunResult
-ServingSystem::run(const Trace& trace,
-                   std::vector<double> planning_demand)
+void
+ServingSystem::injectArrivals()
+{
+    // Chained arrival injection: one pending event at a time. Queries
+    // draw recycled slots from the pool; ids stay monotonic via the
+    // dedicated counter (byte-identical to the old grow-only arena).
+    const auto& events = active_trace_->events();
+    while (trace_cursor_ < events.size() &&
+           events[trace_cursor_].at <= sim_.now()) {
+        const TraceEvent& e = events[trace_cursor_++];
+        Query* q = query_pool_.acquire();
+        *q = Query{};  // reset whatever the previous occupant left
+        q->id = ++next_query_id_;
+        q->family = e.family;
+        q->arrival = sim_.now();
+        q->deadline = sim_.now() + profiles_.slo(e.family);
+        balancers_[e.family]->submit(q);
+    }
+    if (trace_cursor_ < events.size()) {
+        sim_.scheduleAt(events[trace_cursor_].at,
+                        [this] { injectArrivals(); });
+    }
+}
+
+Time
+ServingSystem::beginRun(const Trace& trace,
+                        std::vector<double> planning_demand)
 {
     PROTEUS_ASSERT(!ran_, "a ServingSystem runs exactly one trace");
     ran_ = true;
@@ -461,26 +536,13 @@ ServingSystem::run(const Trace& trace,
         timeseries_->start();
     controller_->start(planning_demand);
 
-    // Chained arrival injection: one pending event at a time.
-    const auto& events = trace.events();
-    std::size_t cursor = 0;
-    std::function<void()> inject = [&]() {
-        while (cursor < events.size() &&
-               events[cursor].at <= sim_.now()) {
-            const TraceEvent& e = events[cursor++];
-            arena_.push_back(Query{});
-            Query& q = arena_.back();
-            q.id = static_cast<QueryId>(arena_.size());
-            q.family = e.family;
-            q.arrival = sim_.now();
-            q.deadline = sim_.now() + profiles_.slo(e.family);
-            balancers_[e.family]->submit(&q);
-        }
-        if (cursor < events.size())
-            sim_.scheduleAt(events[cursor].at, inject);
-    };
-    if (!events.empty())
-        sim_.scheduleAt(events.front().at, inject);
+    active_trace_ = &trace;
+    trace_cursor_ = 0;
+    sim_.reserveEvents(64);
+    if (!trace.events().empty()) {
+        sim_.scheduleAt(trace.events().front().at,
+                        [this] { injectArrivals(); });
+    }
 
     // Run past the end of the trace so in-flight queries drain; the
     // controller's periodic task keeps the event queue non-empty, so
@@ -488,21 +550,48 @@ ServingSystem::run(const Trace& trace,
     Duration max_slo = 0;
     for (FamilyId f = 0; f < registry_->numFamilies(); ++f)
         max_slo = std::max(max_slo, profiles_.slo(f));
-    const Time horizon = trace.endTime() + 4 * max_slo + seconds(5.0);
+    horizon_ = trace.endTime() + 4 * max_slo + seconds(5.0);
     if (injector_)
-        injector_->arm(horizon);
-    sim_.run(horizon);
+        injector_->arm(horizon_);
+    return horizon_;
+}
 
-    // Account for anything still stuck in queues at the horizon.
-    for (Query& q : arena_) {
-        if (!q.finished()) {
-            q.status = QueryStatus::Dropped;
-            q.completion = sim_.now();
-            if (tracer_)
-                traceQueryEnd(tracer_.get(), q);
-            observer_->onFinished(q);
-        }
+void
+ServingSystem::advanceTo(Time at)
+{
+    PROTEUS_ASSERT(ran_ && !finished_, "advanceTo outside a run");
+    sim_.run(std::min(at, horizon_));
+}
+
+RunResult
+ServingSystem::finishRun()
+{
+    PROTEUS_ASSERT(ran_ && !finished_, "finishRun outside a run");
+    finished_ = true;
+
+    // Account for anything still stuck in queues at the horizon:
+    // collect the still-live pool slots, then finish them in id order
+    // — the exact order the old insertion-ordered arena walked them.
+    drain_scratch_.clear();
+    query_pool_.forEachMutable([this](Query& q) {
+        if (!q.finished())
+            drain_scratch_.push_back(&q);
+    });
+    std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+              [](const Query* a, const Query* b) { return a->id < b->id; });
+    for (Query* q : drain_scratch_) {
+        q->status = QueryStatus::Dropped;
+        q->completion = sim_.now();
+        if (tracer_)
+            traceQueryEnd(tracer_.get(), *q);
+        observer_->onFinished(*q);
     }
+    drain_scratch_.clear();
+    // Every query the trace injected must be back in the pool now;
+    // anything still out is a lifecycle leak.
+    PROTEUS_ASSERT(query_pool_.in_use() == 0,
+                   "query pool leak: ", query_pool_.in_use(),
+                   " slots still in use after drain");
     metrics_.finalize();
     if (timeseries_)
         timeseries_->finalize();
@@ -519,6 +608,16 @@ ServingSystem::run(const Trace& trace,
             ->set(tracer_ ? static_cast<double>(tracer_->recorded()) : 0.0);
         obs_registry_.gauge("trace.spans_dropped")
             ->set(tracer_ ? static_cast<double>(tracer_->dropped()) : 0.0);
+        // Allocation accounting: pool occupancy must be back to zero
+        // (asserted above); capacity records the in-flight high-water
+        // mark; heap_allocs is non-zero only when the counting
+        // operator new is linked (tests/bench).
+        obs_registry_.gauge("alloc.pool_in_use")
+            ->set(static_cast<double>(query_pool_.in_use()));
+        obs_registry_.gauge("alloc.pool_capacity")
+            ->set(static_cast<double>(query_pool_.capacity()));
+        obs_registry_.gauge("alloc.heap_allocs")
+            ->set(static_cast<double>(alloc::heapAllocs()));
     }
 
     RunResult result;
@@ -546,6 +645,15 @@ ServingSystem::run(const Trace& trace,
     if (slo_monitor_)
         result.slo_alarms = slo_monitor_->alarmsRaised();
     return result;
+}
+
+RunResult
+ServingSystem::run(const Trace& trace,
+                   std::vector<double> planning_demand)
+{
+    const Time horizon = beginRun(trace, std::move(planning_demand));
+    advanceTo(horizon);
+    return finishRun();
 }
 
 }  // namespace proteus

@@ -19,11 +19,13 @@
 #ifndef PROTEUS_CORE_SERVING_SYSTEM_H_
 #define PROTEUS_CORE_SERVING_SYSTEM_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "cluster/device.h"
+#include "common/alloc/frame_arena.h"
+#include "common/alloc/object_pool.h"
+#include "common/alloc/scratch_vector.h"
 #include "core/allocation.h"
 #include "core/config.h"
 #include "core/controller.h"
@@ -88,6 +90,33 @@ class ServingSystem
     RunResult run(const Trace& trace,
                   std::vector<double> planning_demand = {});
 
+    /**
+     * Staged-run API — run() is beginRun(); advanceTo(horizon);
+     * finishRun(). Splitting the phases lets callers (the alloc tests
+     * and the events/sec bench) advance the clock in slices and meter
+     * a steady window between warm-up and drain.
+     *
+     * @param trace borrowed; must stay alive until finishRun().
+     * @return the drain horizon (trace end + SLO slack).
+     */
+    Time beginRun(const Trace& trace,
+                  std::vector<double> planning_demand = {});
+
+    /** Advance the virtual clock to @p at (clamped to the horizon). */
+    void advanceTo(Time at);
+
+    /** Drain, finalize metrics and assemble the result. */
+    RunResult finishRun();
+
+    /** @return queries currently live in the pool (in-flight). */
+    std::size_t queriesInFlight() const { return query_pool_.in_use(); }
+
+    /** @return the query pool's slot capacity (high-water mark). */
+    std::size_t queryPoolCapacity() const
+    {
+        return query_pool_.capacity();
+    }
+
     /** @return the profile store (Fig. 1 style inspection). */
     const ProfileStore& profiles() const { return profiles_; }
 
@@ -132,6 +161,7 @@ class ServingSystem
 
   private:
     void applyPlan(const Allocation& plan);
+    void injectArrivals();
     void registerTimeSeriesChannels();
     std::unique_ptr<BatchingPolicy> makeBatchingPolicy() const;
     std::unique_ptr<Allocator> makeAllocator();
@@ -151,7 +181,9 @@ class ServingSystem
     std::unique_ptr<obs::SloMonitor> slo_monitor_;
     /** Fan-out observer (metrics + SLO monitor) when obs is enabled. */
     std::unique_ptr<QueryObserver> fanout_;
-    /** The observer every component reports to (&metrics_ when off). */
+    /** Recycles finished queries into the pool after the sinks ran. */
+    std::unique_ptr<QueryObserver> pool_release_;
+    /** The observer every component reports to. */
     QueryObserver* observer_ = nullptr;
 
     std::vector<std::unique_ptr<Worker>> workers_;
@@ -161,9 +193,24 @@ class ServingSystem
     DeviceHealthTracker health_;
     std::unique_ptr<FaultInjector> injector_;
 
-    std::deque<Query> arena_;
+    /** Pooled query storage: finished slots recycle instead of the
+     *  old grow-only deque, bounding memory on long traces. Ids stay
+     *  monotonic via next_query_id_ (byte-identical to the deque). */
+    alloc::ObjectPool<Query> query_pool_;
+    QueryId next_query_id_ = 0;
+    /** Per-epoch staging (routing share lists); reset in applyPlan. */
+    alloc::FrameArena epoch_arena_;
+    /** Horizon-drain staging (collect → sort by id → finish). */
+    alloc::ScratchVector<Query*> drain_scratch_;
+
+    // Staged-run state (beginRun .. finishRun).
+    const Trace* active_trace_ = nullptr;
+    std::size_t trace_cursor_ = 0;
+    Time horizon_ = kNoTime;
+
     bool first_apply_ = true;
     bool ran_ = false;
+    bool finished_ = false;
 };
 
 }  // namespace proteus

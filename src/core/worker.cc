@@ -49,6 +49,23 @@ Worker::bounce(Query* query)
 }
 
 void
+Worker::bounceQueued()
+{
+    // Park the queue in the reused scratch buffer before bouncing:
+    // requeue may synchronously re-enqueue into this (now empty)
+    // queue, exactly like the old move-out-and-rebuild did, but
+    // without surrendering either container's capacity.
+    drain_scratch_.clear();
+    while (!queue_.empty()) {
+        drain_scratch_.push_back(queue_.front());
+        queue_.pop_front();
+    }
+    for (Query* q : drain_scratch_)
+        bounce(q);
+    drain_scratch_.clear();
+}
+
+void
 Worker::hostVariant(std::optional<VariantId> variant, bool instant)
 {
     if (failed_)
@@ -64,10 +81,7 @@ Worker::hostVariant(std::optional<VariantId> variant, bool instant)
     // Hand every queued query back for re-routing: the device will be
     // unavailable for the whole model load, which can exceed short
     // SLOs, while a ready replica may still serve them in time.
-    std::deque<Query*> pending = std::move(queue_);
-    queue_.clear();
-    for (Query* q : pending)
-        bounce(q);
+    bounceQueued();
 
     target_ = variant;
     if (!variant) {
@@ -95,10 +109,7 @@ Worker::hostVariant(std::optional<VariantId> variant, bool instant)
             loading_ = false;
             target_.reset();
             ++failed_loads_;
-            std::deque<Query*> stranded = std::move(queue_);
-            queue_.clear();
-            for (Query* q : stranded)
-                bounce(q);
+            bounceQueued();
             if (load_failure_alarm_)
                 load_failure_alarm_(device_);
         });
@@ -151,10 +162,7 @@ Worker::crash()
             bounce(q);
         inflight_.clear();
     }
-    std::deque<Query*> pending = std::move(queue_);
-    queue_.clear();
-    for (Query* q : pending)
-        bounce(q);
+    bounceQueued();
 }
 
 void
@@ -205,10 +213,7 @@ Worker::failNextLoad()
         loading_ = false;
         target_.reset();
         ++failed_loads_;
-        std::deque<Query*> stranded = std::move(queue_);
-        queue_.clear();
-        for (Query* q : stranded)
-            bounce(q);
+        bounceQueued();
         if (load_failure_alarm_)
             load_failure_alarm_(device_);
         return;
@@ -299,8 +304,8 @@ Worker::executeBatch(int count)
                    "batch beyond profiled range");
 
     const Time now = sim_->now();
-    std::vector<Query*> batch;
-    batch.reserve(static_cast<std::size_t>(count));
+    inflight_.clear();
+    inflight_.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i) {
         Query* q = queue_.front();
         queue_.pop_front();
@@ -316,7 +321,7 @@ Worker::executeBatch(int count)
             s.v0 = device_;
             tracer_->record(s);
         }
-        batch.push_back(q);
+        inflight_.push_back(q);
     }
 
     Duration lat = prof.latencyFor(count);
@@ -334,26 +339,25 @@ Worker::executeBatch(int count)
     batched_queries_ += static_cast<std::uint64_t>(count);
     // Capture the executing variant: a swap may be requested while
     // the batch runs, but these queries were served by this variant.
-    // The batch is tracked so a crash can abort and re-route it.
+    // The batch lives in inflight_ so a crash can abort and re-route
+    // it — and so the completion closure stays two words.
     const VariantId executing = *target_;
-    inflight_ = batch;
     inflight_event_ = sim_->scheduleAfter(
-        lat, [this, executing, b = std::move(batch)]() mutable {
-            finishBatch(executing, std::move(b));
-        });
+        lat, [this, executing] { finishBatch(executing); });
 }
 
 void
-Worker::finishBatch(VariantId executed_variant,
-                    std::vector<Query*> batch)
+Worker::finishBatch(VariantId executed_variant)
 {
     busy_ = false;
     inflight_event_ = kNoEvent;
-    inflight_.clear();
     const Time now = sim_->now();
     const double accuracy = registry_->variant(executed_variant).accuracy;
+    // Read before the observer loop: onFinished may hand a query's
+    // pool slot back, after which its fields are fair game for reuse.
+    const Time batch_start = inflight_[0]->exec_start;
     bool any_violation = false;
-    for (Query* q : batch) {
+    for (Query* q : inflight_) {
         q->completion = now;
         q->accuracy = accuracy;
         q->served_by = device_;
@@ -379,18 +383,20 @@ Worker::finishBatch(VariantId executed_variant,
     if (tracer_) {
         obs::SpanRecord s;
         s.kind = obs::SpanKind::Batch;
-        s.start = batch.front()->exec_start;
+        s.start = batch_start;
         s.end = now;
         s.id = batches_;
         s.a = device_;
         s.b = executed_variant;
-        s.v0 = static_cast<std::int64_t>(batch.size());
+        s.v0 = static_cast<std::int64_t>(inflight_.size());
         tracer_->record(s);
     }
-    if (policy_) {
-        policy_->onBatchOutcome(static_cast<int>(batch.size()),
-                                any_violation);
-    }
+    const int batch_size = static_cast<int>(inflight_.size());
+    // Done with the batch storage before evaluate(), which may start
+    // the next batch into the same buffer.
+    inflight_.clear();
+    if (policy_)
+        policy_->onBatchOutcome(batch_size, any_violation);
     evaluate();
 }
 

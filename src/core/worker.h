@@ -15,13 +15,12 @@
 #ifndef PROTEUS_CORE_WORKER_H_
 #define PROTEUS_CORE_WORKER_H_
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <vector>
 
 #include "cluster/device.h"
+#include "common/alloc/scratch_vector.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "core/batching.h"
@@ -38,6 +37,7 @@ class Worker
 {
   public:
     /** Called with queries that must be re-routed after a swap. */
+    // NOLINTNEXTLINE-PROTEUS(A1): installed once at wiring time, not per-query
     using RequeueFn = std::function<void(Query*)>;
 
     /**
@@ -70,6 +70,7 @@ class Worker
     }
 
     /** Called with the device id when a model load fails. */
+    // NOLINTNEXTLINE-PROTEUS(A1): installed once at wiring time, not per-query
     using LoadFailureFn = std::function<void(DeviceId)>;
 
     /** Install the model-load-failure alarm (optional). */
@@ -167,10 +168,11 @@ class Worker
     void evaluate();
     void executeBatch(int count);
     void dropFront(int count);
-    void finishBatch(VariantId executed_variant,
-                     std::vector<Query*> batch);
+    void finishBatch(VariantId executed_variant);
     void cancelTimer();
     void bounce(Query* query);
+    /** Move everything queued into drain_scratch_ and bounce it. */
+    void bounceQueued();
 
     Simulator* sim_;
     const Cluster* cluster_;
@@ -190,7 +192,11 @@ class Worker
     bool loading_ = false;
     std::uint64_t load_epoch_ = 0;
 
-    std::deque<Query*> queue_;
+    QueryQueue queue_;
+    /** Reused drain buffer: swap/crash/load-failure paths park the
+     *  queue here while bouncing, instead of rebuilding a fresh
+     *  container every time (ISSUE 6 satellite). */
+    alloc::ScratchVector<Query*> drain_scratch_;
     bool busy_ = false;
     EventId timer_ = kNoEvent;
     Time timer_at_ = kNoTime;
@@ -203,7 +209,8 @@ class Worker
     double stall_factor_ = 1.0;
     Time stall_until_ = kNoTime;
     EventId inflight_event_ = kNoEvent;
-    std::vector<Query*> inflight_;
+    /** The executing batch (reused across batches; capacity sticks). */
+    alloc::ScratchVector<Query*> inflight_;
 
     std::uint64_t served_ = 0;
     std::uint64_t dropped_ = 0;

@@ -1,6 +1,6 @@
 #include "sim/simulator.h"
 
-#include <memory>
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -23,13 +23,48 @@ Simulator::~Simulator()
     clearLogTimeSource(this);
 }
 
+void
+Simulator::reserveEvents(std::size_t n)
+{
+    heap_.reserve(n);
+    free_slots_.reserve(n);
+    slots_.reserve(n);
+    while (slots_.size() < n) {
+        free_slots_.push_back(static_cast<std::uint32_t>(slots_.size()));
+        slots_.emplace_back();
+    }
+}
+
 EventId
 Simulator::push(Time at, Callback cb)
 {
-    EventId id = next_id_++;
-    queue_.push(Entry{at, seq_++, id});
-    callbacks_.emplace(id, std::move(cb));
-    return id;
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    } else {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    }
+    EventSlot& s = slots_[slot];
+    s.cb = std::move(cb);
+    s.armed = true;
+    ++armed_;
+    heap_.push_back(Entry{at, seq_++, slot, s.gen});
+    std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
+    return (static_cast<EventId>(s.gen & kGenMask) << 32) |
+           static_cast<EventId>(slot + 1);
+}
+
+void
+Simulator::releaseSlot(std::uint32_t slot)
+{
+    EventSlot& s = slots_[slot];
+    s.cb.reset();
+    s.armed = false;
+    ++s.gen;
+    --armed_;
+    free_slots_.push_back(slot);
 }
 
 EventId
@@ -51,52 +86,73 @@ EventId
 Simulator::schedulePeriodic(Duration period, Callback cb)
 {
     PROTEUS_ASSERT(period > 0, "periodic task needs positive period");
-    // The periodic handle is a fresh id never used by a one-shot event;
-    // cancellation is checked each time the task re-arms itself.
-    EventId handle = next_id_++;
-    auto shared = std::make_shared<Callback>(std::move(cb));
-    // Each firing re-arms the next one. Ownership of the loop closure
-    // lives in the queued event (not in the closure itself, which only
-    // holds a weak_ptr — a self-reference would be a cycle and leak
-    // every periodic task still armed when the run ends).
-    auto loop = std::make_shared<std::function<void()>>();
-    *loop = [this, handle, period, shared,
-             weak = std::weak_ptr<std::function<void()>>(loop)]() {
-        if (cancelled_periodics_.count(handle))
-            return;
-        (*shared)();
-        if (cancelled_periodics_.count(handle))
-            return;
-        if (auto self = weak.lock())
-            scheduleAfter(period, [self] { (*self)(); });
-    };
-    scheduleAfter(period, [loop] { (*loop)(); });
-    return handle;
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(periodics_.size());
+    periodics_.push_back(PeriodicTask{std::move(cb), period, false});
+    scheduleAfter(period, Callback([this, index] { firePeriodic(index); }));
+    return kPeriodicTag | index;
+}
+
+void
+Simulator::firePeriodic(std::uint32_t index)
+{
+    // Re-index instead of holding a reference across the call: the
+    // callback may register new periodics.
+    if (periodics_[index].cancelled)
+        return;
+    periodics_[index].cb();
+    if (periodics_[index].cancelled)
+        return;
+    // Re-arm after the user callback so events it scheduled at the
+    // same instant keep their FIFO position ahead of the next tick.
+    scheduleAfter(periodics_[index].period,
+                  Callback([this, index] { firePeriodic(index); }));
 }
 
 bool
 Simulator::cancel(EventId id)
 {
-    return callbacks_.erase(id) > 0;
+    if (id == kNoEvent || (id & kPeriodicTag) != 0)
+        return false;
+    const std::uint32_t encoded_slot =
+        static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+    if (encoded_slot == 0 || encoded_slot > slots_.size())
+        return false;
+    const std::uint32_t slot = encoded_slot - 1;
+    const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32) & kGenMask;
+    EventSlot& s = slots_[slot];
+    if (!s.armed || (s.gen & kGenMask) != gen)
+        return false;
+    // Lazy cancellation: the heap entry stays and is skipped on pop
+    // (its generation no longer matches).
+    releaseSlot(slot);
+    return true;
 }
 
 void
 Simulator::cancelPeriodic(EventId id)
 {
-    cancelled_periodics_.insert(id);
+    if ((id & kPeriodicTag) == 0)
+        return;
+    const std::uint64_t index = id & ~kPeriodicTag;
+    if (index < periodics_.size())
+        periodics_[index].cancelled = true;
 }
 
 bool
 Simulator::step()
 {
-    while (!queue_.empty()) {
-        Entry e = queue_.top();
-        queue_.pop();
-        auto it = callbacks_.find(e.id);
-        if (it == callbacks_.end())
-            continue;  // cancelled
-        Callback cb = std::move(it->second);
-        callbacks_.erase(it);
+    while (!heap_.empty()) {
+        const Entry e = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+        heap_.pop_back();
+        EventSlot& s = slots_[e.slot];
+        if (!s.armed || s.gen != e.gen)
+            continue;  // cancelled (stale generation)
+        Callback cb = std::move(s.cb);
+        // Release before invoking so the callback itself can recycle
+        // the slot — reuse order stays deterministic (LIFO).
+        releaseSlot(e.slot);
         PROTEUS_ASSERT(e.at >= now_, "event queue went backwards");
         now_ = e.at;
         ++executed_;
@@ -109,8 +165,8 @@ Simulator::step()
 void
 Simulator::run(Time until)
 {
-    while (!queue_.empty()) {
-        if (queue_.top().at > until) {
+    while (!heap_.empty()) {
+        if (heap_.front().at > until) {
             now_ = until;
             return;
         }
@@ -118,12 +174,6 @@ Simulator::run(Time until)
     }
     if (until != kTimeMax && until > now_)
         now_ = until;
-}
-
-std::size_t
-Simulator::pendingEvents() const
-{
-    return callbacks_.size();
 }
 
 }  // namespace proteus

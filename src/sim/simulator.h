@@ -2,32 +2,41 @@
  * @file
  * Discrete-event simulation core.
  *
- * The simulator owns a priority queue of timestamped callbacks and a
+ * The simulator owns a binary heap of timestamped event entries and a
  * virtual clock. Events scheduled at equal times fire in scheduling
  * order (FIFO), which makes runs fully deterministic. Events can be
  * cancelled via the handle returned by schedule(); cancellation is lazy
- * (the entry is skipped when popped).
+ * (the heap entry is skipped when popped).
  *
  * This is the substrate the paper's trace-driven evaluation runs on
  * (§6.1.5): arrival of queries, batch completions, controller periods
  * and monitoring reports are all simulator events.
+ *
+ * Memory: the hot path is allocation-free at steady state (DESIGN.md,
+ * "Memory management"). Callbacks are stored inline in pooled event
+ * slots (InplaceFunction, no per-event heap closure), slots are
+ * recycled through a freelist in LIFO order, and stale heap entries
+ * left behind by cancellation are skipped via a per-slot generation
+ * counter. reserveEvents() pre-warms the pool and heap so a sized run
+ * never grows them mid-flight.
  */
 
 #ifndef PROTEUS_SIM_SIMULATOR_H_
 #define PROTEUS_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <queue>
-#include <set>
+#include <deque>
 #include <vector>
 
+#include "common/alloc/inplace_function.h"
 #include "common/types.h"
 
 namespace proteus {
 
-/** Handle identifying a scheduled event; usable for cancellation. */
+/** Handle identifying a scheduled event; usable for cancellation.
+ *  Encoding: low 32 bits = slot index + 1 (so kNoEvent == 0 is never
+ *  produced), bits 32..62 = slot generation (stale-entry detection),
+ *  bit 63 = periodic-task tag. */
 using EventId = std::uint64_t;
 
 /** Sentinel handle for "no event". */
@@ -40,7 +49,12 @@ inline constexpr EventId kNoEvent = 0;
 class Simulator
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline capacity for event closures. A closure that exceeds it
+     *  fails to compile — move the state into a member of the
+     *  scheduling object and capture `this`. */
+    static constexpr std::size_t kCallbackCapacity = 64;
+
+    using Callback = alloc::InplaceFunction<kCallbackCapacity>;
 
     Simulator();
     ~Simulator();
@@ -86,13 +100,36 @@ class Simulator
     std::uint64_t eventsExecuted() const { return executed_; }
 
     /** @return the number of events currently pending. */
-    std::size_t pendingEvents() const;
+    std::size_t pendingEvents() const { return armed_; }
+
+    /**
+     * Pre-warm the event pool and heap so runs with at most @p n
+     * events pending at once never allocate while stepping.
+     */
+    void reserveEvents(std::size_t n);
+
+    /** @return live slots + freelist capacity (alloc.pool gauges). */
+    std::size_t eventSlotCapacity() const { return slots_.size(); }
 
   private:
+    /** Tag bit distinguishing periodic handles from event handles. */
+    static constexpr EventId kPeriodicTag = EventId{1} << 63;
+    /** Generation bits available in the handle encoding. */
+    static constexpr std::uint32_t kGenMask = 0x7FFFFFFFu;
+
+    /** Pooled storage for one scheduled callback. */
+    struct EventSlot {
+        Callback cb;
+        std::uint32_t gen = 0;  ///< bumped on every release
+        bool armed = false;
+    };
+
+    /** Heap entry; (at, seq) gives deterministic FIFO at equal times. */
     struct Entry {
         Time at;
         std::uint64_t seq;
-        EventId id;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
     struct EntryLater {
         bool
@@ -105,17 +142,34 @@ class Simulator
     };
 
     EventId push(Time at, Callback cb);
+    void releaseSlot(std::uint32_t slot);
+    void firePeriodic(std::uint32_t index);
 
     Time now_ = 0;
     std::uint64_t seq_ = 0;
-    EventId next_id_ = 1;
     std::uint64_t executed_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-    // Ordered containers (lint rule D1): EventIds are assigned
-    // monotonically, so lookup/erase stay O(log n) on a shallow tree
-    // and any future iteration is in deterministic id order.
-    std::map<EventId, Callback> callbacks_;
-    std::set<EventId> cancelled_periodics_;
+    std::size_t armed_ = 0;  ///< live (pending, uncancelled) events
+
+    // Event pool: slots_ never shrinks, free_slots_ recycles LIFO so
+    // reuse order is deterministic and cache-warm.
+    std::vector<EventSlot> slots_;
+    std::vector<std::uint32_t> free_slots_;
+
+    // Min-heap on (at, seq) via std::push_heap/pop_heap; an explicit
+    // vector (rather than std::priority_queue) so reserveEvents() can
+    // pre-size it. May contain stale entries for cancelled events;
+    // they are skipped on pop via the generation check.
+    std::vector<Entry> heap_;
+
+    // Periodic tasks are registered once and live for the whole run;
+    // a deque so in-flight callbacks stay put when another periodic
+    // is registered mid-run.
+    struct PeriodicTask {
+        Callback cb;
+        Duration period = 0;
+        bool cancelled = false;
+    };
+    std::deque<PeriodicTask> periodics_;
 };
 
 }  // namespace proteus

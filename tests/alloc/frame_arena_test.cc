@@ -1,0 +1,108 @@
+#include "common/alloc/frame_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace proteus {
+namespace {
+
+TEST(FrameArenaTest, AllocationsAreDisjointAndAligned)
+{
+    alloc::FrameArena arena(256);
+    auto* a = arena.allocateArray<std::uint64_t>(4);
+    auto* b = arena.allocateArray<std::uint32_t>(3);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(std::uint64_t),
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::uint32_t),
+              0u);
+    std::memset(a, 0xAA, 4 * sizeof(std::uint64_t));
+    std::memset(b, 0xBB, 3 * sizeof(std::uint32_t));
+    EXPECT_EQ(a[0], 0xAAAAAAAAAAAAAAAAull);  // b did not overlap a
+}
+
+TEST(FrameArenaTest, ResetReclaimsWithoutReleasingBlocks)
+{
+    alloc::FrameArena arena(128);
+    for (int i = 0; i < 10; ++i)
+        arena.allocate(100);
+    const std::size_t warm_capacity = arena.capacity();
+    EXPECT_GT(warm_capacity, 0u);
+    EXPECT_EQ(arena.bytes_used(), 1000u);
+
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.capacity(), warm_capacity);
+
+    // Same frame shape after reset reuses the retained blocks.
+    for (int i = 0; i < 10; ++i)
+        arena.allocate(100);
+    EXPECT_EQ(arena.capacity(), warm_capacity);
+}
+
+TEST(FrameArenaTest, OversizedRequestGetsDedicatedBlock)
+{
+    alloc::FrameArena arena(64);
+    void* big = arena.allocate(1000);
+    ASSERT_NE(big, nullptr);
+    EXPECT_GE(arena.capacity(), 1000u);
+    // The oversized block is retained and reusable after reset.
+    arena.reset();
+    const std::size_t cap = arena.capacity();
+    arena.allocate(1000);
+    EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(FrameArenaTest, FirstFrameStartsEmpty)
+{
+    alloc::FrameArena arena;
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.capacity(), 0u);
+}
+
+TEST(ArenaVectorTest, PushBackGrowsAndPreservesContents)
+{
+    alloc::FrameArena arena(4096);
+    alloc::ArenaVector<int> v(&arena);
+    EXPECT_TRUE(v.empty());
+    for (int i = 0; i < 100; ++i)
+        v.push_back(i);
+    ASSERT_EQ(v.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(v[i], i);
+    int expect = 0;
+    for (int x : v)
+        EXPECT_EQ(x, expect++);
+}
+
+TEST(ArenaVectorTest, ClearForgetsContentsStorageStaysWithFrame)
+{
+    alloc::FrameArena arena(4096);
+    alloc::ArenaVector<int> v(&arena);
+    v.push_back(7);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.push_back(9);
+    EXPECT_EQ(v[0], 9);
+}
+
+TEST(ArenaVectorTest, ManyVectorsShareOneFrame)
+{
+    alloc::FrameArena arena(1024);
+    alloc::ArenaVector<double> a(&arena);
+    alloc::ArenaVector<double> b(&arena);
+    for (int i = 0; i < 16; ++i) {
+        a.push_back(i * 1.0);
+        b.push_back(i * 2.0);
+    }
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_DOUBLE_EQ(a[i], i * 1.0);
+        EXPECT_DOUBLE_EQ(b[i], i * 2.0);
+    }
+}
+
+}  // namespace
+}  // namespace proteus

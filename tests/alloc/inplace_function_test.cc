@@ -1,0 +1,103 @@
+#include "common/alloc/inplace_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace proteus {
+namespace {
+
+using Fn = alloc::InplaceFunction<64>;
+
+TEST(InplaceFunctionTest, InvokesCapturedLambda)
+{
+    int hits = 0;
+    Fn fn = [&hits] { ++hits; };
+    ASSERT_TRUE(static_cast<bool>(fn));
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunctionTest, DefaultConstructedIsEmpty)
+{
+    Fn fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InplaceFunctionTest, MoveTransfersTheCallable)
+{
+    int hits = 0;
+    Fn a = [&hits] { ++hits; };
+    Fn b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    Fn c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunctionTest, ResetDestroysTheCapture)
+{
+    struct Probe {
+        int* destroyed;
+        explicit Probe(int* d) : destroyed(d) {}
+        Probe(Probe&& o) noexcept : destroyed(o.destroyed)
+        {
+            o.destroyed = nullptr;
+        }
+        ~Probe()
+        {
+            if (destroyed)
+                ++*destroyed;
+        }
+        void operator()() const {}
+    };
+    int destroyed = 0;
+    {
+        Fn fn{Probe(&destroyed)};
+        EXPECT_EQ(destroyed, 0);
+        fn.reset();
+        EXPECT_EQ(destroyed, 1);
+        EXPECT_FALSE(static_cast<bool>(fn));
+    }
+    // Destructor of an already-reset function must not double-destroy.
+    EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InplaceFunctionTest, MoveAssignReleasesThePreviousCallable)
+{
+    int first = 0;
+    int second = 0;
+    Fn fn = [&first] { ++first; };
+    fn = Fn([&second] { ++second; });
+    fn();
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(second, 1);
+}
+
+TEST(InplaceFunctionTest, CapacityFitsHotPathCaptures)
+{
+    // The simulator's callbacks capture up to a few pointers plus an
+    // integer id — well within the 64-byte budget.
+    struct Big {
+        std::uint64_t a[6];
+    };
+    Big big{};
+    big.a[5] = 17;
+    std::uint64_t got = 0;
+    Fn fn = [big, &got] { got = big.a[5]; };
+    fn();
+    EXPECT_EQ(got, 17u);
+    static_assert(sizeof(Fn) <= 64 + 2 * sizeof(void*) + alignof(std::max_align_t),
+                  "InplaceFunction should stay pointer-sized overhead");
+}
+
+}  // namespace
+}  // namespace proteus

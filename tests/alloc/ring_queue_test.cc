@@ -1,0 +1,98 @@
+#include "common/alloc/ring_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace proteus {
+namespace {
+
+TEST(RingQueueTest, FifoOrder)
+{
+    alloc::RingQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    q.push_back(1);
+    q.push_back(2);
+    q.push_back(3);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.back(), 3);
+    q.pop_front();
+    EXPECT_EQ(q.front(), 2);
+    q.pop_front();
+    q.pop_front();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueueTest, IndexingCountsFromTheFront)
+{
+    alloc::RingQueue<int> q;
+    for (int i = 0; i < 6; ++i)
+        q.push_back(i);
+    q.pop_front();
+    q.pop_front();
+    EXPECT_EQ(q[0], 2);
+    EXPECT_EQ(q[3], 5);
+}
+
+TEST(RingQueueTest, WrapAroundPreservesOrder)
+{
+    alloc::RingQueue<int> q;
+    q.reserve(8);
+    const std::size_t cap = q.capacity();
+    // Drift the head far past the buffer size at steady occupancy.
+    for (int i = 0; i < 100; ++i) {
+        q.push_back(i);
+        if (q.size() > 3)
+            q.pop_front();
+    }
+    EXPECT_EQ(q.capacity(), cap);  // never grew past the high-water
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q[0], 97);
+    EXPECT_EQ(q[1], 98);
+    EXPECT_EQ(q[2], 99);
+}
+
+TEST(RingQueueTest, GrowthDoublesAndKeepsContents)
+{
+    alloc::RingQueue<int> q;
+    for (int i = 0; i < 3; ++i)
+        q.push_back(i);
+    q.pop_front();  // move head off zero so growth must unwrap
+    for (int i = 3; i < 40; ++i)
+        q.push_back(i);
+    ASSERT_EQ(q.size(), 39u);
+    for (std::size_t i = 0; i < q.size(); ++i)
+        EXPECT_EQ(q[i], static_cast<int>(i) + 1);
+    EXPECT_EQ(q.capacity(), 64u);  // power of two
+}
+
+TEST(RingQueueTest, RangeForMatchesIndexing)
+{
+    alloc::RingQueue<int> q;
+    for (int i = 0; i < 10; ++i)
+        q.push_back(i * i);
+    q.pop_front();
+    std::vector<int> seen;
+    for (int x : q)
+        seen.push_back(x);
+    ASSERT_EQ(seen.size(), q.size());
+    for (std::size_t i = 0; i < q.size(); ++i)
+        EXPECT_EQ(seen[i], q[i]);
+}
+
+TEST(RingQueueTest, ClearKeepsCapacity)
+{
+    alloc::RingQueue<int> q;
+    for (int i = 0; i < 20; ++i)
+        q.push_back(i);
+    const std::size_t cap = q.capacity();
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.capacity(), cap);
+    q.push_back(5);
+    EXPECT_EQ(q.front(), 5);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,59 @@
+#include "common/alloc/scratch_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <vector>
+
+namespace proteus {
+namespace {
+
+TEST(ScratchVectorTest, ClearKeepsCapacity)
+{
+    alloc::ScratchVector<int> s;
+    for (int i = 0; i < 100; ++i)
+        s.push_back(i);
+    const std::size_t cap = s.capacity();
+    EXPECT_GE(cap, 100u);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.capacity(), cap);
+    s.push_back(1);
+    EXPECT_EQ(s[0], 1);
+    EXPECT_EQ(s.capacity(), cap);
+}
+
+TEST(ScratchVectorTest, AssignReplacesContents)
+{
+    alloc::ScratchVector<int> s;
+    s.push_back(9);
+    const std::vector<int> src{1, 2, 3};
+    s.assign(src.begin(), src.end());
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0], 1);
+    EXPECT_EQ(s[2], 3);
+}
+
+TEST(ScratchVectorTest, ViewAndIterationSeeTheSameElements)
+{
+    alloc::ScratchVector<int> s;
+    s.push_back(4);
+    s.push_back(5);
+    EXPECT_EQ(s.view().size(), 2u);
+    int sum = 0;
+    for (int x : s)
+        sum += x;
+    EXPECT_EQ(sum, 9);
+}
+
+TEST(ScratchVectorTest, BufferCannotBeGivenAway)
+{
+    using S = alloc::ScratchVector<int>;
+    static_assert(!std::is_copy_constructible_v<S>);
+    static_assert(!std::is_move_constructible_v<S>);
+    static_assert(!std::is_copy_assignable_v<S>);
+    static_assert(!std::is_move_assignable_v<S>);
+}
+
+}  // namespace
+}  // namespace proteus

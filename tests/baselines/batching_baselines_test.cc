@@ -1,6 +1,5 @@
 #include <gtest/gtest.h>
 
-#include <deque>
 #include <vector>
 
 #include "baselines/aimd_batching.h"
@@ -23,7 +22,7 @@ makeProfile(Duration overhead, Duration per_item, int max_batch,
 }
 
 struct QueueFixture {
-    std::deque<Query*> queue;
+    QueryQueue queue;
     std::vector<Query> storage;
 
     void

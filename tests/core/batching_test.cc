@@ -2,7 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include <deque>
 #include <vector>
 
 namespace proteus {
@@ -23,7 +22,7 @@ makeProfile(Duration overhead, Duration per_item, int max_batch,
 }
 
 struct QueueFixture {
-    std::deque<Query*> queue;
+    QueryQueue queue;
     std::vector<Query> storage;
 
     /** Add a query that arrived at @p arrival with @p slo. */

@@ -1,0 +1,42 @@
+// Fixture: A1 fires on heap allocation and std::function in hot-path
+// files; placement new and suppressed sites are allowed.
+#include <functional>
+#include <memory>
+#include <new>
+
+namespace fx {
+
+struct Event {
+    int id = 0;
+};
+
+Event*
+heapEvent()
+{
+    return new Event{};
+}
+
+std::unique_ptr<Event>
+ownedEvent()
+{
+    return std::make_unique<Event>();
+}
+
+std::shared_ptr<Event>
+sharedEvent()
+{
+    return std::make_shared<Event>();
+}
+
+using Callback = std::function<void()>;
+
+// NOLINTNEXTLINE-PROTEUS(A1): construction-time wiring, not per-query
+using AllowedCallback = std::function<void(int)>;
+
+Event*
+placementEvent(void* storage)
+{
+    return new (storage) Event{};  // placement new: allowed
+}
+
+}  // namespace fx

@@ -132,6 +132,41 @@ TEST(LintRules, D4AllowsBenchAndStringsStayInert)
     EXPECT_TRUE(lintFixture("bench/d4_allowed.cc").empty());
 }
 
+TEST(LintRules, A1FlagsHeapAllocationInHotPath)
+{
+    auto fs = lintFixture("src/sim/a1_alloc.cc");
+    ASSERT_EQ(fs.size(), 5u);
+    for (const Finding& f : fs)
+        EXPECT_EQ(f.rule, "A1");
+    EXPECT_FALSE(fs[0].suppressed);  // new Event{}
+    EXPECT_FALSE(fs[1].suppressed);  // make_unique
+    EXPECT_FALSE(fs[2].suppressed);  // make_shared
+    EXPECT_FALSE(fs[3].suppressed);  // std::function Callback
+    EXPECT_TRUE(fs[4].suppressed);   // AllowedCallback, NOLINTNEXTLINE
+    // placementEvent (new (storage) Event{}) does not fire.
+}
+
+TEST(LintRules, A1AllowsPlacementNewOperatorNewAndIncludeNew)
+{
+    EXPECT_TRUE(lintSource("src/sim/p.cc",
+                           "#include <new>\n"
+                           "void* operator new(unsigned long n);\n"
+                           "int* f(void* s) { return new (s) int{}; }\n")
+                    .empty());
+}
+
+TEST(LintRules, A1IgnoresAllocationOutsideHotPath)
+{
+    const std::string body =
+        "#include <memory>\n"
+        "auto p = std::make_unique<int>(1);\n"
+        "int* q = new int{2};\n";
+    EXPECT_TRUE(lintSource("src/metrics/collector.cc", body).empty());
+    EXPECT_TRUE(lintSource("src/core/controller.cc", body).empty());
+    EXPECT_EQ(lintSource("src/core/worker.cc", body).size(), 2u);
+    EXPECT_EQ(lintSource("src/common/alloc/pool.h", body).size(), 2u);
+}
+
 TEST(LintRules, S1FlagsUnsafeCastsInSrc)
 {
     auto fs = lintFixture("src/common/s1_casts.cc");
@@ -256,6 +291,7 @@ const char* const kFixtureFiles[] = {
     "src/common/s3_suppressions.cc",
     "src/core/d2_clock.cc",
     "src/core/d4_output.cc",
+    "src/sim/a1_alloc.cc",
     "src/sim/d1_unordered.cc",
 };
 
@@ -281,7 +317,7 @@ TEST(LintJson, SchemaParsesAndCountsAreConsistent)
     std::string err;
     ASSERT_TRUE(proteus::parseJson(text, &v, &err)) << err;
     EXPECT_EQ(v.at("version").asNumber(), 1.0);
-    EXPECT_EQ(v.at("files_scanned").asNumber(), 8.0);
+    EXPECT_EQ(v.at("files_scanned").asNumber(), 9.0);
 
     const auto& findings = v.at("findings").asArray();
     const auto& counts = v.at("counts");

@@ -50,7 +50,9 @@ directionOf(const std::string& metric)
         {"throughput_qps", Direction::HigherBetter},
         {"effective_accuracy", Direction::HigherBetter},
         {"served", Direction::HigherBetter},
+        {"events_per_sec", Direction::HigherBetter},
         {"slo_violation_ratio", Direction::LowerBetter},
+        {"allocs_per_query", Direction::LowerBetter},
         {"violations", Direction::LowerBetter},
         {"max_accuracy_drop", Direction::LowerBetter},
         {"dropped", Direction::LowerBetter},

@@ -57,6 +57,19 @@ trace_smoke() {
     echo "obs smoke OK (${dir}/observability_report.html)"
 }
 
+alloc_smoke() {
+    # Zero-allocation smoke (ISSUE 6): the allocation bench links the
+    # counting operator new and must report allocs_per_query == 0 for
+    # the steady-state window; the bench_diff gate against the
+    # committed baseline enforces it (LowerBetter, abs 0.01).
+    local dir="$1"
+    echo "=== alloc smoke: events_per_sec + bench_diff ==="
+    (cd "${dir}" && ./bench/events_per_sec)
+    "${dir}/tools/bench_diff" \
+        bench/baselines/BENCH_events_per_sec.json \
+        "${dir}/BENCH_events_per_sec.json"
+}
+
 lint_pass() {
     # proteus_lint has no dependencies, so compile it directly: the
     # lint gate must work on machines without GTest/benchmark.
@@ -95,6 +108,7 @@ fi
 if [[ "${mode}" == "all" || "${mode}" == "plain" ]]; then
     run_pass "plain" build
     trace_smoke build
+    alloc_smoke build
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "strict" ]]; then

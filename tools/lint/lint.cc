@@ -421,6 +421,18 @@ isOutputAllowed(const std::string& path)
     return pathHas(path, "bench/") || pathHas(path, "tools/");
 }
 
+/** A1 scope: the zero-allocation query hot path (ISSUE 6). */
+bool
+isHotPath(const std::string& path)
+{
+    if (pathHas(path, "src/sim/") || pathHas(path, "src/common/alloc/"))
+        return true;
+    return pathHas(path, "src/core/worker") ||
+           pathHas(path, "src/core/router") ||
+           pathHas(path, "src/core/batching") ||
+           pathHas(path, "src/core/query");
+}
+
 // ---------------------------------------------------------------------------
 // Token rules
 // ---------------------------------------------------------------------------
@@ -512,6 +524,7 @@ checkTokens(const std::string& path, const Scan& scan,
     const bool clock_ok = isClockShim(path);
     const bool output_ok = isOutputAllowed(path);
     const bool in_src = pathHas(path, "src/");
+    const bool hot = isHotPath(path);
 
     const std::vector<Token>& toks = scan.tokens;
     auto add = [&](const Token& t, const char* rule, std::string msg) {
@@ -590,6 +603,37 @@ checkTokens(const std::string& path, const Scan& scan,
                     "raw " + id +
                         "() outside bench/tools; use common/logging "
                         "(inform/warn/debugLog)");
+                continue;
+            }
+        }
+
+        if (hot) {
+            // Allocating 'new' is always followed by a type name.
+            // This skips placement new ('new (addr) T' — storage the
+            // caller already owns), 'operator new' declarations (the
+            // interposition shim itself) and '#include <new>'.
+            const bool alloc_new =
+                id == "new" && prevText(i) != "operator" &&
+                i + 1 < toks.size() &&
+                toks[i + 1].kind == TokKind::Ident;
+            if (alloc_new) {
+                add(t, "A1",
+                    "heap 'new' in hot-path file; use "
+                    "alloc::ObjectPool/FrameArena/ScratchVector (or "
+                    "placement new into pooled storage)");
+                continue;
+            }
+            if (id == "make_unique" || id == "make_shared") {
+                add(t, "A1",
+                    "std::" + id +
+                        " in hot-path file; hot-path objects come from "
+                        "alloc::ObjectPool/FrameArena, not the heap");
+                continue;
+            }
+            if (id == "function" && prevText(i) == "::") {
+                add(t, "A1",
+                    "std::function in hot-path file; it heap-allocates "
+                    "for large captures — use alloc::InplaceFunction");
                 continue;
             }
         }
@@ -711,6 +755,10 @@ ruleRegistry()
                "comment"},
         {"D4", "no std::cout / raw printf-family output outside "
                "bench/ and tools/ (use common/logging)"},
+        {"A1", "no heap allocation (new / make_unique / make_shared) or "
+               "std::function in hot-path files (src/sim, "
+               "src/common/alloc, src/core/{worker,router,batching,"
+               "query})"},
         {"S1", "no const_cast / reinterpret_cast in src/"},
         {"S2", "no TODO/FIXME without an issue reference TODO(#N)"},
         {"S3", "every NOLINT-PROTEUS names known rules and carries a "
