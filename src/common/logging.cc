@@ -3,11 +3,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace proteus {
 
 namespace {
 
+// The sweep runner executes simulators on several threads at once, so
+// the time-source pair (owner, fn) and emission are mutex-guarded:
+// registration is atomic with respect to emit(), and emit() calls the
+// fn under the lock so clearLogTimeSource() in a dying simulator's
+// destructor cannot race a concurrent log line into use-after-free.
+std::mutex g_mu;
 LogLevel g_level = LogLevel::Warn;
 
 const void* g_time_owner = nullptr;
@@ -18,18 +25,21 @@ double (*g_time_fn)(const void*) = nullptr;
 void
 setLogLevel(LogLevel level)
 {
+    const std::lock_guard<std::mutex> lock(g_mu);
     g_level = level;
 }
 
 LogLevel
 logLevel()
 {
+    const std::lock_guard<std::mutex> lock(g_mu);
     return g_level;
 }
 
 void
 setLogTimeSource(const void* owner, double (*fn)(const void*))
 {
+    const std::lock_guard<std::mutex> lock(g_mu);
     g_time_owner = owner;
     g_time_fn = fn;
 }
@@ -37,6 +47,7 @@ setLogTimeSource(const void* owner, double (*fn)(const void*))
 void
 clearLogTimeSource(const void* owner)
 {
+    const std::lock_guard<std::mutex> lock(g_mu);
     if (g_time_owner != owner)
         return;
     g_time_owner = nullptr;
@@ -48,6 +59,7 @@ namespace detail {
 void
 emit(LogLevel level, const std::string& tag, const std::string& msg)
 {
+    const std::lock_guard<std::mutex> lock(g_mu);
     if (static_cast<int>(level) > static_cast<int>(g_level))
         return;
     if (g_time_fn) {

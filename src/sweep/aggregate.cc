@@ -1,0 +1,141 @@
+#include "sweep/aggregate.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace proteus {
+namespace sweep {
+
+namespace {
+
+/** Must match bench::kBenchSchemaVersion (bench/bench_util.h) so the
+ *  aggregate reports diff against bench baselines' schema family. */
+constexpr int kAggregateBenchSchema = 3;
+
+/** Two-sided 95% Student-t critical values, df = 1..30. */
+constexpr double kT95[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048,  2.045, 2.042};
+
+struct Group {
+    std::string name;
+    std::vector<const StoreRowData*> rows;  ///< ok rows, job-id order
+};
+
+std::string
+groupNameOf(const StoreRowData& row)
+{
+    if (row.scenario.empty() || row.scenario == "base")
+        return row.config;
+    return row.config + "+" + row.scenario;
+}
+
+}  // namespace
+
+double
+tCritical95(std::size_t df)
+{
+    if (df == 0)
+        return 0.0;
+    if (df <= std::size(kT95))
+        return kT95[df - 1];
+    return 1.96;
+}
+
+std::string
+aggregateBenchJson(const StoreData& store)
+{
+    // Group ok-rows by config(+scenario), preserving first-appearance
+    // order (rows arrive sorted by job id, so this is the matrix's
+    // expansion order and therefore deterministic).
+    std::vector<Group> groups;
+    std::size_t failed = 0;
+    for (const StoreRowData& row : store.rows) {
+        if (row.status != JobStatus::Ok) {
+            ++failed;
+            continue;
+        }
+        const std::string name = groupNameOf(row);
+        Group* group = nullptr;
+        for (Group& g : groups) {
+            if (g.name == name) {
+                group = &g;
+                break;
+            }
+        }
+        if (!group) {
+            groups.push_back(Group{name, {}});
+            group = &groups.back();
+        }
+        group->rows.push_back(&row);
+    }
+
+    std::ostringstream os;
+    os << "{\"bench\":\"" << store.header.sweep
+       << "\",\"schema\":" << kAggregateBenchSchema << ",\"git_sha\":\""
+       << store.header.git_sha << "\",\"config\":\""
+       << store.header.sweep << "\",\"results\":{";
+
+    bool first_entry = true;
+    for (const Group& g : groups) {
+        if (!first_entry)
+            os << ',';
+        first_entry = false;
+        os << '"' << g.name << "\":{\"seeds\":" << g.rows.size();
+        // Metric names from the group's first row (alphabetical via
+        // the parsed map); every ok row of a sweep shares the list.
+        for (const std::string& metric : g.rows.front()->metric_names) {
+            std::size_t n = 0;
+            double sum = 0.0;
+            for (const StoreRowData* row : g.rows) {
+                auto it = row->metrics.find(metric);
+                if (it == row->metrics.end())
+                    continue;
+                ++n;
+                sum += it->second;
+            }
+            if (n == 0)
+                continue;
+            const double mean = sum / static_cast<double>(n);
+            os << ",\"" << metric << "\":" << fmtMetric(mean);
+            if (n >= 2) {
+                double sq = 0.0;
+                for (const StoreRowData* row : g.rows) {
+                    auto it = row->metrics.find(metric);
+                    if (it == row->metrics.end())
+                        continue;
+                    const double d = it->second - mean;
+                    sq += d * d;
+                }
+                const double sd =
+                    std::sqrt(sq / static_cast<double>(n - 1));
+                const double half = tCritical95(n - 1) * sd /
+                                    std::sqrt(static_cast<double>(n));
+                os << ",\"" << metric
+                   << "_ci95\":" << fmtMetric(half);
+            }
+        }
+        os << '}';
+    }
+    if (!first_entry)
+        os << ',';
+    os << "\"failed_jobs\":" << failed << "}}\n";
+    return os.str();
+}
+
+bool
+writeAggregateBench(const StoreData& store, const std::string& path)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    f << aggregateBenchJson(store);
+    return static_cast<bool>(f);
+}
+
+}  // namespace sweep
+}  // namespace proteus

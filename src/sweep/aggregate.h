@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aggregation pass over a sweep results store: group rows by
+ * config(+scenario), compute mean and 95% confidence interval across
+ * seeds for every metric, and emit a BENCH-schema report that
+ * `bench_diff --stats` can gate on CI overlap instead of single-point
+ * tolerances.
+ *
+ * Report layout (schema matches bench/bench_util.h):
+ *   results.<group>.seeds            — ok-row count in the group
+ *   results.<group>.<metric>         — mean across seeds
+ *   results.<group>.<metric>_ci95    — CI half-width (omitted when
+ *                                      fewer than 2 samples: a
+ *                                      single seed degenerates to
+ *                                      tolerance gating)
+ *   results.failed_jobs              — rows with status != ok
+ */
+
+#ifndef PROTEUS_SWEEP_AGGREGATE_H_
+#define PROTEUS_SWEEP_AGGREGATE_H_
+
+#include <string>
+
+#include "sweep/store.h"
+
+namespace proteus {
+namespace sweep {
+
+/**
+ * @return the 95% two-sided Student-t critical value for @p df
+ * degrees of freedom (exact table through 30, 1.96 beyond).
+ */
+double tCritical95(std::size_t df);
+
+/** Build the BENCH-schema report JSON text from a parsed store. */
+std::string aggregateBenchJson(const StoreData& store);
+
+/** Write the report to @p path. @return false on IO error. */
+bool writeAggregateBench(const StoreData& store,
+                         const std::string& path);
+
+}  // namespace sweep
+}  // namespace proteus
+
+#endif  // PROTEUS_SWEEP_AGGREGATE_H_

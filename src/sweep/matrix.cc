@@ -1,0 +1,178 @@
+#include "sweep/matrix.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace proteus {
+namespace sweep {
+
+std::string
+JobSpec::groupName() const
+{
+    if (scenario.empty() || scenario == "base")
+        return config;
+    return config + "+" + scenario;
+}
+
+JsonValue
+jsonDeepMerge(const JsonValue& base, const JsonValue& overlay)
+{
+    if (!base.isObject() || !overlay.isObject())
+        return overlay;
+    std::map<std::string, JsonValue> merged;
+    for (const std::string& key : base.keys())
+        merged.emplace(key, base.at(key));
+    for (const std::string& key : overlay.keys()) {
+        auto it = merged.find(key);
+        if (it == merged.end())
+            merged.emplace(key, overlay.at(key));
+        else
+            it->second = jsonDeepMerge(it->second, overlay.at(key));
+    }
+    return JsonValue::makeObject(std::move(merged));
+}
+
+namespace {
+
+std::vector<AxisEntry>
+axisFromJson(const JsonValue& json, const char* key)
+{
+    std::vector<AxisEntry> axis;
+    if (!json.has(key))
+        return axis;
+    const JsonValue& arr = json.at(key);
+    if (!arr.isArray())
+        PROTEUS_FATAL("sweep spec \"", key, "\" must be an array");
+    for (const JsonValue& e : arr.asArray()) {
+        if (!e.isObject() || !e.has("name") || !e.at("name").isString())
+            PROTEUS_FATAL("sweep spec \"", key,
+                          "\" entries need a string \"name\"");
+        AxisEntry entry;
+        entry.name = e.at("name").asString();
+        entry.overrides = e.has("overrides")
+                              ? e.at("overrides")
+                              : JsonValue::makeObject({});
+        if (!entry.overrides.isObject())
+            PROTEUS_FATAL("sweep \"", key, "\" entry \"", entry.name,
+                          "\": \"overrides\" must be an object");
+        for (const AxisEntry& prev : axis) {
+            if (prev.name == entry.name)
+                PROTEUS_FATAL("sweep \"", key, "\" has duplicate name \"",
+                              entry.name, "\"");
+        }
+        axis.push_back(std::move(entry));
+    }
+    return axis;
+}
+
+std::vector<std::uint64_t>
+seedsFromJson(const JsonValue& json)
+{
+    std::vector<std::uint64_t> seeds;
+    if (!json.has("seeds")) {
+        seeds.push_back(1);
+        return seeds;
+    }
+    const JsonValue& s = json.at("seeds");
+    if (s.isArray()) {
+        for (const JsonValue& v : s.asArray()) {
+            if (!v.isNumber())
+                PROTEUS_FATAL("sweep \"seeds\" array must be numeric");
+            seeds.push_back(static_cast<std::uint64_t>(v.asNumber()));
+        }
+    } else if (s.isObject()) {
+        const std::uint64_t first =
+            static_cast<std::uint64_t>(s.numberOr("first", 1.0));
+        const int count = static_cast<int>(s.numberOr("count", 1.0));
+        if (count < 1)
+            PROTEUS_FATAL("sweep \"seeds\".count must be >= 1");
+        for (int i = 0; i < count; ++i)
+            seeds.push_back(first + static_cast<std::uint64_t>(i));
+    } else {
+        PROTEUS_FATAL("sweep \"seeds\" must be an array or "
+                      "{first, count} object");
+    }
+    if (seeds.empty())
+        PROTEUS_FATAL("sweep \"seeds\" expands to no seeds");
+    return seeds;
+}
+
+}  // namespace
+
+SweepSpec
+loadSweepSpec(const JsonValue& json)
+{
+    SweepSpec spec;
+    spec.name = json.stringOr("name", "sweep");
+    if (json.has("base")) {
+        spec.base = json.at("base");
+        if (!spec.base.isObject())
+            PROTEUS_FATAL("sweep \"base\" must be an object");
+    } else if (json.has("base_file")) {
+        std::string error;
+        if (!parseJsonFile(json.at("base_file").asString(), &spec.base,
+                           &error))
+            PROTEUS_FATAL("sweep base_file parse error: ", error);
+    } else {
+        PROTEUS_FATAL("sweep spec needs \"base\" or \"base_file\"");
+    }
+
+    spec.configs = axisFromJson(json, "configs");
+    if (spec.configs.empty())
+        spec.configs.push_back({"base", JsonValue::makeObject({})});
+    spec.scenarios = axisFromJson(json, "scenarios");
+    if (spec.scenarios.empty())
+        spec.scenarios.push_back({"base", JsonValue::makeObject({})});
+    spec.seeds = seedsFromJson(json);
+    spec.job_budget_ms = json.numberOr("job_budget_ms", 0.0);
+    return spec;
+}
+
+SweepSpec
+loadSweepSpecFile(const std::string& path)
+{
+    JsonValue json;
+    std::string error;
+    if (!parseJsonFile(path, &json, &error))
+        PROTEUS_FATAL("sweep spec parse error: ", error);
+    return loadSweepSpec(json);
+}
+
+std::vector<JobSpec>
+expandJobs(const SweepSpec& spec)
+{
+    std::vector<JobSpec> jobs;
+    jobs.reserve(spec.configs.size() * spec.scenarios.size() *
+                 spec.seeds.size());
+    for (const AxisEntry& config : spec.configs) {
+        const JsonValue with_config =
+            jsonDeepMerge(spec.base, config.overrides);
+        for (const AxisEntry& scenario : spec.scenarios) {
+            const JsonValue merged =
+                jsonDeepMerge(with_config, scenario.overrides);
+            for (const std::uint64_t seed : spec.seeds) {
+                JobSpec job;
+                job.id = jobs.size();
+                job.config = config.name;
+                job.scenario = scenario.name;
+                job.seed = seed;
+                // The seed axis owns both RNG seeds: the system's and
+                // the workload generator's.
+                const JsonValue seed_overlay = JsonValue::makeObject(
+                    {{"seed", JsonValue::makeNumber(
+                                  static_cast<double>(seed))},
+                     {"workload",
+                      JsonValue::makeObject(
+                          {{"seed", JsonValue::makeNumber(
+                                        static_cast<double>(seed))}})}});
+                job.experiment = jsonDeepMerge(merged, seed_overlay);
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    return jobs;
+}
+
+}  // namespace sweep
+}  // namespace proteus

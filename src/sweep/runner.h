@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parallel experiment runner (the TCPSPSuite parallelizer/runner
+ * idiom): a fixed-size pool of worker threads pulls jobs off a shared
+ * atomic cursor and runs each one **in-process** — the simulator is
+ * deterministic and self-contained, so a job is just a function call,
+ * no fork, no IPC.
+ *
+ * Isolation contract:
+ *  - a job that throws becomes an "error" row in the store; sibling
+ *    jobs are unaffected and the sweep runs to completion,
+ *  - a job that exceeds the per-job work budget is abandoned and
+ *    becomes a "budget" row (cooperative: jobs poll
+ *    JobContext::checkBudget() between simulation slices),
+ *  - the driver's exit status reflects failed rows (nonzero when any
+ *    job did not end "ok").
+ *
+ * Determinism contract: job results never depend on thread count or
+ * completion order. The merged store is produced by ResultsStore in
+ * job-id order, so `--threads 1` and `--threads N` runs of the same
+ * spec emit byte-identical stores.
+ */
+
+#ifndef PROTEUS_SWEEP_RUNNER_H_
+#define PROTEUS_SWEEP_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "sweep/matrix.h"
+#include "sweep/store.h"
+#include "sweep/sweep_clock.h"
+
+namespace proteus {
+
+struct RunResult;
+
+namespace sweep {
+
+/** Runner configuration. */
+struct RunnerOptions {
+    int threads = 1;            ///< worker threads (clamped to >= 1)
+    double job_budget_ms = 0.0; ///< per-job wall budget; 0 = unlimited
+    std::string journal_path;   ///< append-only journal; "" disables
+};
+
+/** Thrown by JobContext::checkBudget() when the budget is exhausted. */
+class BudgetExceeded : public std::runtime_error
+{
+  public:
+    explicit BudgetExceeded(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Per-job handle: identity plus the cooperative budget check. */
+class JobContext
+{
+  public:
+    JobContext(std::size_t job, double budget_ms)
+        : job_(job), budget_ms_(budget_ms)
+    {}
+
+    std::size_t job() const { return job_; }
+
+    /** @return true once the wall budget is spent (false when off). */
+    bool
+    budgetExceeded() const
+    {
+        return budget_ms_ > 0.0 && timer_.elapsedMs() > budget_ms_;
+    }
+
+    /** Throw BudgetExceeded when the budget is spent. Jobs call this
+     *  between work slices; granularity is the caller's slice size. */
+    void checkBudget() const;
+
+    /** @return wall milliseconds since the job started. */
+    double elapsedMs() const { return timer_.elapsedMs(); }
+
+  private:
+    std::size_t job_;
+    double budget_ms_;
+    JobTimer timer_;
+};
+
+/** The work of one job: fill @p row (metrics and/or identity fixups).
+ *  Throwing marks the row "error"; BudgetExceeded marks it "budget". */
+using JobFn = std::function<void(JobContext&, SweepRow*)>;
+
+/** Outcome of a sweep: deterministic rows + merged store bytes. */
+struct SweepOutcome {
+    std::vector<SweepRow> rows;  ///< job-id order
+    std::size_t failed = 0;      ///< rows with status != ok
+    std::string store_text;      ///< merged store (header + rows)
+};
+
+/**
+ * Run @p fn(i) for i in [0, n) across @p threads workers. Blocks
+ * until all complete; rethrows the first exception after joining.
+ * The low-level primitive under runJobs(); also the engine behind the
+ * tests' SeedSweep helper.
+ */
+void parallelFor(std::size_t n, int threads,
+                 const std::function<void(std::size_t)>& fn);
+
+/**
+ * Run @p n jobs through the pool with failure isolation. @p init
+ * builds each job's identity row; @p fn does the work. Rows land in
+ * @p store as jobs finish (journal order) and in the returned outcome
+ * in job-id order.
+ */
+SweepOutcome runJobs(std::size_t n, const RunnerOptions& options,
+                     const StoreHeader& header,
+                     const std::function<SweepRow(std::size_t)>& init,
+                     const JobFn& fn);
+
+/**
+ * Expand @p spec and run every job: each job loads its merged
+ * experiment config, runs a ServingSystem over the trace (sliced,
+ * budget-checked), and records the summary metrics.
+ */
+SweepOutcome runSweep(const SweepSpec& spec,
+                      const RunnerOptions& options);
+
+/** The summary metrics recorded per job, as preformatted pairs. */
+std::vector<std::pair<std::string, std::string>> summaryMetrics(
+    const RunResult& result);
+
+}  // namespace sweep
+}  // namespace proteus
+
+#endif  // PROTEUS_SWEEP_RUNNER_H_

@@ -1,0 +1,285 @@
+#include "sweep/store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "sweep/sweep_clock.h"
+
+namespace proteus {
+namespace sweep {
+
+const char*
+toString(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Error:
+        return "error";
+      case JobStatus::Budget:
+        return "budget";
+    }
+    return "unknown";
+}
+
+std::string
+fmtMetric(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fmtMetric(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JobStatus
+statusFromString(const std::string& s)
+{
+    if (s == "ok")
+        return JobStatus::Ok;
+    if (s == "budget")
+        return JobStatus::Budget;
+    return JobStatus::Error;
+}
+
+}  // namespace
+
+std::string
+headerJson(const StoreHeader& header)
+{
+    std::ostringstream os;
+    os << "{\"kind\":\"header\",\"store_schema\":" << kStoreSchemaVersion
+       << ",\"sweep\":\"" << escape(header.sweep) << "\",\"git_sha\":\""
+       << escape(header.git_sha) << "\",\"jobs\":" << header.jobs
+       << ",\"configs\":" << header.configs
+       << ",\"scenarios\":" << header.scenarios
+       << ",\"seeds\":" << header.seeds << "}";
+    return os.str();
+}
+
+std::string
+rowJson(const SweepRow& row, bool journal)
+{
+    std::ostringstream os;
+    os << "{\"kind\":\"row\",\"job\":" << row.job << ",\"config\":\""
+       << escape(row.config) << "\",\"scenario\":\""
+       << escape(row.scenario) << "\",\"seed\":" << row.seed
+       << ",\"status\":\"" << toString(row.status) << "\"";
+    if (row.status != JobStatus::Ok)
+        os << ",\"error\":\"" << escape(row.error) << "\"";
+    os << ",\"metrics\":{";
+    for (std::size_t i = 0; i < row.metrics.size(); ++i) {
+        if (i)
+            os << ',';
+        os << '"' << escape(row.metrics[i].first)
+           << "\":" << row.metrics[i].second;
+    }
+    os << '}';
+    if (journal) {
+        os << ",\"wall_ms\":" << fmtMetric(row.wall_ms)
+           << ",\"at_unix\":" << unixSeconds();
+    }
+    os << '}';
+    return os.str();
+}
+
+ResultsStore::ResultsStore(const StoreHeader& header,
+                           std::string journal_path)
+    : header_(header)
+{
+    if (journal_path.empty())
+        return;
+    journal_.open(journal_path,
+                  std::ios::binary | std::ios::app);
+    if (!journal_) {
+        warn("cannot open sweep journal ", journal_path);
+        return;
+    }
+    journal_ << headerJson(header_) << '\n';
+    journal_.flush();
+}
+
+void
+ResultsStore::append(SweepRow row)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (journal_.is_open()) {
+        journal_ << rowJson(row, /*journal=*/true) << '\n';
+        journal_.flush();
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::vector<SweepRow>
+ResultsStore::sortedRows() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SweepRow> rows = rows_;
+    std::sort(rows.begin(), rows.end(),
+              [](const SweepRow& a, const SweepRow& b) {
+                  return a.job < b.job;
+              });
+    return rows;
+}
+
+std::size_t
+ResultsStore::failedCount() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t failed = 0;
+    for (const SweepRow& row : rows_) {
+        if (row.status != JobStatus::Ok)
+            ++failed;
+    }
+    return failed;
+}
+
+std::string
+ResultsStore::mergedText() const
+{
+    std::string out = headerJson(header_) + "\n";
+    for (const SweepRow& row : sortedRows())
+        out += rowJson(row, /*journal=*/false) + "\n";
+    return out;
+}
+
+bool
+ResultsStore::writeMerged(const std::string& path) const
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    f << mergedText();
+    return static_cast<bool>(f);
+}
+
+bool
+readStore(const std::string& path, StoreData* out, std::string* error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    bool saw_header = false;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonValue v;
+        std::string parse_error;
+        if (!parseJson(line, &v, &parse_error)) {
+            if (error) {
+                *error = path + ":" + std::to_string(lineno) + ": " +
+                         parse_error;
+            }
+            return false;
+        }
+        const std::string kind = v.stringOr("kind", "");
+        if (kind == "header") {
+            out->store_schema =
+                static_cast<int>(v.numberOr("store_schema", 0.0));
+            if (out->store_schema != kStoreSchemaVersion) {
+                if (error) {
+                    *error = path + ": store_schema " +
+                             std::to_string(out->store_schema) +
+                             " != expected " +
+                             std::to_string(kStoreSchemaVersion);
+                }
+                return false;
+            }
+            out->header.sweep = v.stringOr("sweep", "");
+            out->header.git_sha = v.stringOr("git_sha", "unknown");
+            out->header.jobs =
+                static_cast<std::size_t>(v.numberOr("jobs", 0.0));
+            out->header.configs =
+                static_cast<std::size_t>(v.numberOr("configs", 0.0));
+            out->header.scenarios =
+                static_cast<std::size_t>(v.numberOr("scenarios", 0.0));
+            out->header.seeds =
+                static_cast<std::size_t>(v.numberOr("seeds", 0.0));
+            saw_header = true;
+            continue;
+        }
+        if (kind != "row")
+            continue;
+        StoreRowData row;
+        row.job = static_cast<std::size_t>(v.numberOr("job", 0.0));
+        row.config = v.stringOr("config", "");
+        row.scenario = v.stringOr("scenario", "");
+        row.seed =
+            static_cast<std::uint64_t>(v.numberOr("seed", 0.0));
+        row.status = statusFromString(v.stringOr("status", "error"));
+        row.error = v.stringOr("error", "");
+        if (v.has("metrics") && v.at("metrics").isObject()) {
+            const JsonValue& m = v.at("metrics");
+            for (const std::string& key : m.keys()) {
+                if (!m.at(key).isNumber())
+                    continue;
+                row.metric_names.push_back(key);
+                row.metrics[key] = m.at(key).asNumber();
+            }
+        }
+        out->rows.push_back(std::move(row));
+    }
+    if (!saw_header) {
+        if (error)
+            *error = path + ": no header line";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace sweep
+}  // namespace proteus

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Append-only JSONL results store for sweep runs.
+ *
+ * Two artifacts, one purpose each:
+ *
+ *  - the **journal** (`<out>.journal`): one line appended and flushed
+ *    the moment each job finishes, in completion order, stamped with
+ *    wall time. This is the crash-isolation story — kill the driver
+ *    mid-sweep and every finished job's row survives on disk.
+ *
+ *  - the **merged store** (`<out>`): written once at the end, header
+ *    first, then one row per job in job-id order with all wall-clock
+ *    fields stripped. Because job results are deterministic and the
+ *    merge order is fixed, the merged store is byte-identical no
+ *    matter how many worker threads ran the sweep.
+ *
+ * Both use the same row schema (store_schema 1): a "header" line
+ * carrying the sweep name, git SHA and matrix shape, then "row" lines
+ * with job identity, status ("ok" / "error" / "budget") and the
+ * summary metrics as preformatted numbers.
+ */
+
+#ifndef PROTEUS_SWEEP_STORE_H_
+#define PROTEUS_SWEEP_STORE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace proteus {
+namespace sweep {
+
+/** Store schema version; bump when the row layout changes. */
+inline constexpr int kStoreSchemaVersion = 1;
+
+/** How a job ended. */
+enum class JobStatus {
+    Ok,      ///< ran to completion
+    Error,   ///< threw; row carries the exception message
+    Budget,  ///< exceeded the per-job work budget and was abandoned
+};
+
+/** @return the status as its store-schema string. */
+const char* toString(JobStatus status);
+
+/** One job's result row. Metrics are preformatted (name, value-text)
+ *  pairs so the merged store is byte-stable by construction. */
+struct SweepRow {
+    std::size_t job = 0;
+    std::string config;
+    std::string scenario;
+    std::uint64_t seed = 0;
+    JobStatus status = JobStatus::Ok;
+    std::string error;  ///< empty unless status != Ok
+    std::vector<std::pair<std::string, std::string>> metrics;
+    double wall_ms = 0.0;  ///< journal only; never in the merged store
+};
+
+/** Identity stamped into the store header line. */
+struct StoreHeader {
+    std::string sweep;
+    std::string git_sha = "unknown";
+    std::size_t jobs = 0;
+    std::size_t configs = 0;
+    std::size_t scenarios = 0;
+    std::size_t seeds = 0;
+};
+
+/** Format @p v losslessly ("%.17g") for a metric value. */
+std::string fmtMetric(double v);
+
+/** Format @p v as an integer metric value. */
+std::string fmtMetric(std::uint64_t v);
+
+/** Serialize one row. @p journal adds wall_ms and at_unix stamps. */
+std::string rowJson(const SweepRow& row, bool journal);
+
+/** Serialize the header line. */
+std::string headerJson(const StoreHeader& header);
+
+/**
+ * Collects rows as jobs finish (thread-safe) and materializes the
+ * deterministic merged store afterwards.
+ */
+class ResultsStore
+{
+  public:
+    /**
+     * @param journal_path append-only completion-order log; empty
+     *        disables journaling (in-process/test use).
+     */
+    explicit ResultsStore(const StoreHeader& header,
+                          std::string journal_path = "");
+
+    /** Record one finished job; appends + flushes the journal line. */
+    void append(SweepRow row);
+
+    /** @return all rows so far, sorted by job id. */
+    std::vector<SweepRow> sortedRows() const;
+
+    /** @return rows with status != Ok (after sorting by job id). */
+    std::size_t failedCount() const;
+
+    /** @return the merged store text (header + rows by job id). */
+    std::string mergedText() const;
+
+    /** Write the merged store to @p path. @return false on IO error. */
+    bool writeMerged(const std::string& path) const;
+
+    const StoreHeader& header() const { return header_; }
+
+  private:
+    StoreHeader header_;
+    mutable std::mutex mu_;
+    std::vector<SweepRow> rows_;
+    std::ofstream journal_;
+};
+
+/** A row read back from a store file; metrics parsed to doubles. */
+struct StoreRowData {
+    std::size_t job = 0;
+    std::string config;
+    std::string scenario;
+    std::uint64_t seed = 0;
+    JobStatus status = JobStatus::Ok;
+    std::string error;
+    /** Insertion-ordered metric names (all ok-rows share one list). */
+    std::vector<std::string> metric_names;
+    std::map<std::string, double> metrics;
+};
+
+/** A parsed store: header + rows. */
+struct StoreData {
+    StoreHeader header;
+    int store_schema = 0;
+    std::vector<StoreRowData> rows;
+};
+
+/**
+ * Parse a JSONL store (merged or journal).
+ * @return false with *error set on IO/parse/schema problems.
+ */
+bool readStore(const std::string& path, StoreData* out,
+               std::string* error);
+
+}  // namespace sweep
+}  // namespace proteus
+
+#endif  // PROTEUS_SWEEP_STORE_H_

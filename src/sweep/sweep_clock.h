@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The sweep driver's audited wall-clock site (proteus_lint rule D2).
+ *
+ * The experiment runner is *measurement* infrastructure: it times jobs
+ * and stamps journal rows with real timestamps so an interrupted sweep
+ * can be audited afterwards. Those are legitimate wall-clock reads,
+ * but rule D2 exists precisely so clock reads cannot creep into
+ * deterministic code, so instead of sprinkling per-line suppressions
+ * through src/sweep, every clock read the sweep subsystem makes
+ * funnels through this one header and the lint allowlist names
+ * exactly this file (see isClockShim() in tools/lint/lint.cc).
+ *
+ * Invariant (audited): nothing returned from here may influence a
+ * job's *result* — only journal metadata (wall_ms, at_unix) and the
+ * per-job work-budget abort, which turns a job into an explicit
+ * failure row rather than silently changing its answer. The merged
+ * results store contains no wall-clock-derived bytes at all; that is
+ * what makes an N-thread store byte-identical to a 1-thread store.
+ */
+
+#ifndef PROTEUS_SWEEP_SWEEP_CLOCK_H_
+#define PROTEUS_SWEEP_SWEEP_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace proteus {
+namespace sweep {
+
+/** Monotonic per-job stopwatch; starts at construction. */
+class JobTimer
+{
+  public:
+    JobTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** @return milliseconds elapsed since construction. */
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** @return seconds since the Unix epoch (journal stamps only). */
+inline std::int64_t
+unixSeconds()
+{
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace sweep
+}  // namespace proteus
+
+#endif  // PROTEUS_SWEEP_SWEEP_CLOCK_H_

@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/alloc/alloc_counter.h"
@@ -24,6 +26,7 @@
 #include "common/alloc/ring_queue.h"
 #include "core/serving_system.h"
 #include "models/model.h"
+#include "testing/fixtures.h"
 #include "workload/generators.h"
 
 namespace proteus {
@@ -173,36 +176,33 @@ TEST(ZeroAllocTest, PooledQueriesStayByteDeterministicAcrossSeeds)
 {
     // The pool recycles Query slots and ids; the refactor promises
     // results identical to the old grow-only arena. Two same-seed
-    // runs must agree exactly, for 20 seeds.
-    MiniSystem mini;
-    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    // runs must agree exactly, for 20 seeds — via the shared SeedSweep
+    // harness, so the world is built per seed (thread safety) and the
+    // pairs run across the sweep worker pool.
+    testing::expectSeedSweepByteIdentical([](std::uint64_t seed) {
+        MiniSystem mini;
         const Trace trace =
             steadyTrace(mini.reg.numFamilies(), 80.0, seconds(15.0),
                         ArrivalProcess::Poisson, seed);
         SystemConfig cfg;
         cfg.seed = seed;
-        ServingSystem a(&mini.cluster, &mini.reg, cfg);
-        ServingSystem b(&mini.cluster, &mini.reg, cfg);
-        const RunResult ra = a.run(trace);
-        const RunResult rb = b.run(trace);
-        EXPECT_EQ(ra.summary.arrivals, rb.summary.arrivals) << seed;
-        EXPECT_EQ(ra.summary.served, rb.summary.served) << seed;
-        EXPECT_EQ(ra.summary.served_late, rb.summary.served_late)
-            << seed;
-        EXPECT_EQ(ra.summary.dropped, rb.summary.dropped) << seed;
-        EXPECT_EQ(ra.summary.avg_throughput_qps,
-                  rb.summary.avg_throughput_qps)
-            << seed;
-        EXPECT_EQ(ra.summary.slo_violation_ratio,
-                  rb.summary.slo_violation_ratio)
-            << seed;
-        EXPECT_EQ(ra.summary.effective_accuracy,
-                  rb.summary.effective_accuracy)
-            << seed;
-        EXPECT_EQ(ra.shed, rb.shed) << seed;
-        EXPECT_EQ(a.queriesInFlight(), 0u);
-        EXPECT_EQ(b.queriesInFlight(), 0u);
-    }
+        ServingSystem system(&mini.cluster, &mini.reg, cfg);
+        const RunResult r = system.run(trace);
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "arr=%llu served=%llu late=%llu drop=%llu shed=%llu "
+            "tput=%.17g viol=%.17g acc=%.17g inflight=%llu",
+            (unsigned long long)r.summary.arrivals,
+            (unsigned long long)r.summary.served,
+            (unsigned long long)r.summary.served_late,
+            (unsigned long long)r.summary.dropped,
+            (unsigned long long)r.shed, r.summary.avg_throughput_qps,
+            r.summary.slo_violation_ratio,
+            r.summary.effective_accuracy,
+            (unsigned long long)system.queriesInFlight());
+        return std::string(buf);
+    });
 }
 
 }  // namespace

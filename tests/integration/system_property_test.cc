@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <tuple>
 
 #include "core/serving_system.h"
 #include "models/model.h"
+#include "testing/fixtures.h"
 #include "workload/generators.h"
 
 namespace proteus {
@@ -120,6 +123,57 @@ TEST_P(BatchingSafetySweep, ProteusBatchingOnlyLateWhenOverloaded)
 INSTANTIATE_TEST_SUITE_P(Sweep, BatchingSafetySweep,
                          ::testing::Combine(::testing::Range(0, 3),
                                             ::testing::Range(0, 3)));
+
+TEST(SystemSweepDeterminism, EndToEndRunsByteIdenticalAcross20Seeds)
+{
+    // End-to-end flavor of the shared SeedSweep harness: a bursty
+    // full-system run (Gamma arrivals, default control cadence) must
+    // be byte-identical across repeats, with repeats racing each other
+    // on the sweep worker pool.
+    testing::expectSeedSweepByteIdentical([](std::uint64_t seed) {
+        Cluster cluster;
+        StandardTypes types = addStandardTypes(&cluster);
+        cluster.addDevices(types.cpu, 3);
+        cluster.addDevices(types.gtx1080ti, 1);
+        cluster.addDevices(types.v100, 1);
+        ModelRegistry reg;
+        for (const auto& fam : miniModelZoo())
+            reg.registerFamily(fam);
+
+        Trace trace = steadyTrace(reg.numFamilies(), 45.0,
+                                  seconds(20.0), ArrivalProcess::Gamma,
+                                  seed);
+        SystemConfig cfg;
+        cfg.seed = seed;
+        ServingSystem system(&cluster, &reg, cfg);
+        RunResult r = system.run(trace);
+
+        std::string s;
+        char buf[192];
+        std::snprintf(
+            buf, sizeof(buf),
+            "arr=%llu served=%llu late=%llu drop=%llu shed=%llu "
+            "tput=%.17g viol=%.17g acc=%.17g re=%d\n",
+            (unsigned long long)r.summary.arrivals,
+            (unsigned long long)r.summary.served,
+            (unsigned long long)r.summary.served_late,
+            (unsigned long long)r.summary.dropped,
+            (unsigned long long)r.shed, r.summary.avg_throughput_qps,
+            r.summary.slo_violation_ratio,
+            r.summary.effective_accuracy, r.reallocations);
+        s += buf;
+        for (const auto& snap : r.timeline) {
+            std::snprintf(buf, sizeof(buf),
+                          "t=%lld a=%llu s=%llu acc=%.17g\n",
+                          (long long)snap.start,
+                          (unsigned long long)snap.total.arrivals,
+                          (unsigned long long)snap.total.served,
+                          snap.total.accuracy_sum);
+            s += buf;
+        }
+        return s;
+    });
+}
 
 }  // namespace
 }  // namespace proteus

@@ -1,0 +1,18 @@
+// Fixture: the D2 allowlist names exactly src/sweep/sweep_clock.h,
+// not the sweep directory — clock reads in any other sweep file are
+// still findings (one steady_clock, one time()).
+#include <chrono>
+#include <ctime>
+
+double
+jobStamp()
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long
+rawStamp()
+{
+    return time(nullptr);
+}

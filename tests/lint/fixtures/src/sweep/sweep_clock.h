@@ -1,0 +1,19 @@
+// Fixture: mirrors src/sweep/sweep_clock.h, the audited D2 allowlist
+// entry — direct clock reads here must produce no findings.
+#include <chrono>
+
+inline double
+elapsedMs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+inline long
+unixSeconds()
+{
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}

@@ -100,6 +100,28 @@ TEST(LintRules, D2WhitelistsTheClockShim)
     EXPECT_EQ(lintSource("src/common/other.h", body).size(), 1u);
 }
 
+TEST(LintRules, D2WhitelistsTheSweepClockShimOnly)
+{
+    const std::string body =
+        "auto t = std::chrono::system_clock::now();\n";
+    // The allowlist entry is the single audited file, not the
+    // directory: every other sweep file still fires.
+    EXPECT_TRUE(lintSource("src/sweep/sweep_clock.h", body).empty());
+    EXPECT_EQ(lintSource("src/sweep/runner.cc", body).size(), 1u);
+    EXPECT_EQ(lintSource("src/sweep/store.cc", body).size(), 1u);
+}
+
+TEST(LintRules, D2SweepFixturesMatchTheAllowlistScope)
+{
+    EXPECT_TRUE(lintFixture("src/sweep/sweep_clock.h").empty());
+    auto fs = lintFixture("src/sweep/d2_scope.cc");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, "D2");  // steady_clock
+    EXPECT_EQ(fs[1].rule, "D2");  // time(nullptr)
+    EXPECT_FALSE(fs[0].suppressed);
+    EXPECT_FALSE(fs[1].suppressed);
+}
+
 TEST(LintRules, D2IgnoresMemberFunctionsNamedLikeClockCalls)
 {
     auto fs = lintSource("src/core/q.cc",
@@ -293,6 +315,8 @@ const char* const kFixtureFiles[] = {
     "src/core/d4_output.cc",
     "src/sim/a1_alloc.cc",
     "src/sim/d1_unordered.cc",
+    "src/sweep/d2_scope.cc",
+    "src/sweep/sweep_clock.h",
 };
 
 TEST(LintJson, GoldenOutputIsByteIdentical)
@@ -317,7 +341,7 @@ TEST(LintJson, SchemaParsesAndCountsAreConsistent)
     std::string err;
     ASSERT_TRUE(proteus::parseJson(text, &v, &err)) << err;
     EXPECT_EQ(v.at("version").asNumber(), 1.0);
-    EXPECT_EQ(v.at("files_scanned").asNumber(), 9.0);
+    EXPECT_EQ(v.at("files_scanned").asNumber(), 11.0);
 
     const auto& findings = v.at("findings").asArray();
     const auto& counts = v.at("counts");

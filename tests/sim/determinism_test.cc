@@ -153,11 +153,9 @@ TEST(DeterminismTest, FaultScheduleSorted)
 
 TEST(DeterminismTest, SameSeedByteIdenticalAcross20Seeds)
 {
-    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-        std::string a = seededRun(seed);
-        std::string b = seededRun(seed);
-        EXPECT_EQ(a, b) << "seed " << seed;
-    }
+    // Shared harness: 20 seeds, each run twice, pairs spread across
+    // the sweep runner's worker pool (tests/testing/fixtures.h).
+    testing::expectSeedSweepByteIdentical(seededRun);
 }
 
 TEST(DeterminismTest, DifferentSeedsDiffer)

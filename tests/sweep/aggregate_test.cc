@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Aggregation tests: Student-t table, mean/CI math, single-seed
+ * degeneration (no _ci95 key), failed-row accounting and the BENCH
+ * schema shape of the emitted report.
+ */
+
+#include "sweep/aggregate.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace proteus {
+namespace sweep {
+namespace {
+
+StoreRowData
+okRow(std::size_t job, const std::string& config,
+      const std::string& scenario, std::uint64_t seed, double value)
+{
+    StoreRowData row;
+    row.job = job;
+    row.config = config;
+    row.scenario = scenario;
+    row.seed = seed;
+    row.status = JobStatus::Ok;
+    row.metric_names = {"throughput_qps"};
+    row.metrics["throughput_qps"] = value;
+    return row;
+}
+
+JsonValue
+parseReport(const StoreData& store)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(aggregateBenchJson(store), &v, &error))
+        << error;
+    return v;
+}
+
+TEST(TCritical95Test, TableAndAsymptote)
+{
+    EXPECT_DOUBLE_EQ(tCritical95(1), 12.706);
+    EXPECT_DOUBLE_EQ(tCritical95(2), 4.303);
+    EXPECT_DOUBLE_EQ(tCritical95(9), 2.262);
+    EXPECT_DOUBLE_EQ(tCritical95(30), 2.042);
+    EXPECT_DOUBLE_EQ(tCritical95(31), 1.96);
+    EXPECT_DOUBLE_EQ(tCritical95(1000), 1.96);
+    EXPECT_DOUBLE_EQ(tCritical95(0), 0.0);
+}
+
+TEST(AggregateTest, MeanAndCiAcrossSeeds)
+{
+    StoreData store;
+    store.header.sweep = "agg";
+    store.header.git_sha = "cafe";
+    store.rows.push_back(okRow(0, "proteus", "base", 1, 10.0));
+    store.rows.push_back(okRow(1, "proteus", "base", 2, 12.0));
+    store.rows.push_back(okRow(2, "proteus", "base", 3, 14.0));
+
+    const JsonValue v = parseReport(store);
+    EXPECT_EQ(v.at("bench").asString(), "agg");
+    EXPECT_EQ(v.at("schema").asNumber(), 3.0);
+    EXPECT_EQ(v.at("git_sha").asString(), "cafe");
+    const JsonValue& g = v.at("results").at("proteus");
+    EXPECT_EQ(g.at("seeds").asNumber(), 3.0);
+    EXPECT_DOUBLE_EQ(g.at("throughput_qps").asNumber(), 12.0);
+    // sd = 2, t(df=2) = 4.303 → half-width 4.303 * 2 / sqrt(3).
+    EXPECT_NEAR(g.at("throughput_qps_ci95").asNumber(),
+                4.303 * 2.0 / std::sqrt(3.0), 1e-12);
+    EXPECT_EQ(v.at("results").at("failed_jobs").asNumber(), 0.0);
+}
+
+TEST(AggregateTest, SingleSeedOmitsCiKey)
+{
+    StoreData store;
+    store.header.sweep = "agg";
+    store.rows.push_back(okRow(0, "solo", "base", 1, 42.0));
+    const JsonValue v = parseReport(store);
+    const JsonValue& g = v.at("results").at("solo");
+    EXPECT_EQ(g.at("seeds").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(g.at("throughput_qps").asNumber(), 42.0);
+    EXPECT_FALSE(g.has("throughput_qps_ci95"))
+        << "single-seed groups must fall back to tolerance gating";
+}
+
+TEST(AggregateTest, FailedRowsAreCountedNotAveraged)
+{
+    StoreData store;
+    store.header.sweep = "agg";
+    store.rows.push_back(okRow(0, "proteus", "base", 1, 10.0));
+    StoreRowData bad = okRow(1, "proteus", "base", 2, 99999.0);
+    bad.status = JobStatus::Error;
+    store.rows.push_back(bad);
+    StoreRowData over = okRow(2, "proteus", "base", 3, 99999.0);
+    over.status = JobStatus::Budget;
+    store.rows.push_back(over);
+
+    const JsonValue v = parseReport(store);
+    const JsonValue& g = v.at("results").at("proteus");
+    // Only the ok row contributes to the stats.
+    EXPECT_EQ(g.at("seeds").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(g.at("throughput_qps").asNumber(), 10.0);
+    EXPECT_EQ(v.at("results").at("failed_jobs").asNumber(), 2.0);
+}
+
+TEST(AggregateTest, GroupsByConfigPlusNonBaseScenario)
+{
+    StoreData store;
+    store.header.sweep = "agg";
+    store.rows.push_back(okRow(0, "proteus", "base", 1, 1.0));
+    store.rows.push_back(okRow(1, "proteus", "burst", 1, 2.0));
+    store.rows.push_back(okRow(2, "clipper", "base", 1, 3.0));
+
+    const JsonValue v = parseReport(store);
+    const JsonValue& results = v.at("results");
+    EXPECT_TRUE(results.has("proteus"));
+    EXPECT_TRUE(results.has("proteus+burst"));
+    EXPECT_TRUE(results.has("clipper"));
+    EXPECT_DOUBLE_EQ(
+        results.at("proteus+burst").at("throughput_qps").asNumber(),
+        2.0);
+}
+
+}  // namespace
+}  // namespace sweep
+}  // namespace proteus

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Results-store tests: row/header serialization, the journal-vs-merged
+ * split (wall stamps only in the journal), job-id merge order, the
+ * read-back round trip and crash isolation (journal rows survive a
+ * driver that never reaches the merge).
+ */
+
+#include "sweep/store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace proteus {
+namespace sweep {
+namespace {
+
+std::string
+tempPath(const char* name)
+{
+    const auto dir = std::filesystem::temp_directory_path();
+    return (dir / (std::string("proteus_store_test_") + name)).string();
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+SweepRow
+okRow(std::size_t job, std::uint64_t seed)
+{
+    SweepRow row;
+    row.job = job;
+    row.config = "proteus";
+    row.scenario = "base";
+    row.seed = seed;
+    row.metrics = {{"throughput_qps", fmtMetric(99.5)},
+                   {"served", fmtMetric(std::uint64_t{1234})}};
+    row.wall_ms = 12.5;
+    return row;
+}
+
+TEST(FmtMetricTest, DoublesRoundTripLosslessly)
+{
+    EXPECT_EQ(fmtMetric(0.1), "0.10000000000000001");
+    EXPECT_EQ(fmtMetric(2.0), "2");
+    EXPECT_EQ(fmtMetric(std::uint64_t{18446744073709551615ull}),
+              "18446744073709551615");
+}
+
+TEST(RowJsonTest, MergedRowCarriesNoWallClockBytes)
+{
+    const std::string line = rowJson(okRow(3, 7), /*journal=*/false);
+    EXPECT_EQ(line,
+              "{\"kind\":\"row\",\"job\":3,\"config\":\"proteus\","
+              "\"scenario\":\"base\",\"seed\":7,\"status\":\"ok\","
+              "\"metrics\":{\"throughput_qps\":99.5,"
+              "\"served\":1234}}");
+    EXPECT_EQ(line.find("wall_ms"), std::string::npos);
+    EXPECT_EQ(line.find("at_unix"), std::string::npos);
+}
+
+TEST(RowJsonTest, JournalRowAddsWallStamps)
+{
+    const std::string line = rowJson(okRow(3, 7), /*journal=*/true);
+    EXPECT_NE(line.find("\"wall_ms\":12.5"), std::string::npos);
+    EXPECT_NE(line.find("\"at_unix\":"), std::string::npos);
+}
+
+TEST(RowJsonTest, FailedRowsCarryTheErrorAndNoMetrics)
+{
+    SweepRow row = okRow(1, 2);
+    row.status = JobStatus::Error;
+    row.error = "boom \"quoted\"\npath\\x";
+    row.metrics.clear();
+    const std::string line = rowJson(row, /*journal=*/false);
+    EXPECT_NE(line.find("\"status\":\"error\""), std::string::npos);
+    EXPECT_NE(line.find("\"error\":\"boom \\\"quoted\\\"\\npath\\\\x\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"metrics\":{}"), std::string::npos);
+
+    row.status = JobStatus::Budget;
+    EXPECT_NE(rowJson(row, false).find("\"status\":\"budget\""),
+              std::string::npos);
+}
+
+TEST(HeaderJsonTest, CarriesIdentityAndMatrixShape)
+{
+    StoreHeader h;
+    h.sweep = "smoke";
+    h.git_sha = "abc123";
+    h.jobs = 20;
+    h.configs = 2;
+    h.scenarios = 1;
+    h.seeds = 10;
+    EXPECT_EQ(headerJson(h),
+              "{\"kind\":\"header\",\"store_schema\":1,"
+              "\"sweep\":\"smoke\",\"git_sha\":\"abc123\",\"jobs\":20,"
+              "\"configs\":2,\"scenarios\":1,\"seeds\":10}");
+}
+
+TEST(ResultsStoreTest, MergedTextSortsByJobIdRegardlessOfArrival)
+{
+    StoreHeader h;
+    h.sweep = "order";
+    ResultsStore store(h);
+    // Completion order 2, 0, 1 — as a thread pool would produce.
+    store.append(okRow(2, 30));
+    store.append(okRow(0, 10));
+    store.append(okRow(1, 20));
+
+    const auto rows = store.sortedRows();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].job, 0u);
+    EXPECT_EQ(rows[1].job, 1u);
+    EXPECT_EQ(rows[2].job, 2u);
+
+    // Same rows appended in a different order → identical bytes.
+    ResultsStore store2(h);
+    store2.append(okRow(1, 20));
+    store2.append(okRow(2, 30));
+    store2.append(okRow(0, 10));
+    EXPECT_EQ(store.mergedText(), store2.mergedText());
+}
+
+TEST(ResultsStoreTest, FailedCountIgnoresOkRows)
+{
+    ResultsStore store(StoreHeader{});
+    store.append(okRow(0, 1));
+    SweepRow bad = okRow(1, 2);
+    bad.status = JobStatus::Error;
+    store.append(bad);
+    SweepRow over = okRow(2, 3);
+    over.status = JobStatus::Budget;
+    store.append(over);
+    EXPECT_EQ(store.failedCount(), 2u);
+}
+
+TEST(ResultsStoreTest, JournalSurvivesWithoutMerge)
+{
+    const std::string journal = tempPath("journal.jsonl");
+    std::remove(journal.c_str());
+    {
+        StoreHeader h;
+        h.sweep = "crashy";
+        ResultsStore store(h, journal);
+        store.append(okRow(0, 1));
+        store.append(okRow(1, 2));
+        // No writeMerged(): simulate the driver dying mid-sweep.
+    }
+    const std::string text = slurp(journal);
+    EXPECT_NE(text.find("\"kind\":\"header\""), std::string::npos);
+    EXPECT_NE(text.find("\"job\":0"), std::string::npos);
+    EXPECT_NE(text.find("\"job\":1"), std::string::npos);
+    EXPECT_NE(text.find("\"wall_ms\":"), std::string::npos);
+    std::remove(journal.c_str());
+}
+
+TEST(ReadStoreTest, RoundTripsMergedStore)
+{
+    StoreHeader h;
+    h.sweep = "rt";
+    h.git_sha = "deadbeef";
+    h.jobs = 2;
+    h.configs = 1;
+    h.scenarios = 1;
+    h.seeds = 2;
+    ResultsStore store(h);
+    store.append(okRow(0, 1));
+    SweepRow bad = okRow(1, 2);
+    bad.status = JobStatus::Error;
+    bad.error = "exploded";
+    bad.metrics.clear();
+    store.append(bad);
+
+    const std::string path = tempPath("merged.jsonl");
+    ASSERT_TRUE(store.writeMerged(path));
+
+    StoreData data;
+    std::string error;
+    ASSERT_TRUE(readStore(path, &data, &error)) << error;
+    EXPECT_EQ(data.store_schema, kStoreSchemaVersion);
+    EXPECT_EQ(data.header.sweep, "rt");
+    EXPECT_EQ(data.header.git_sha, "deadbeef");
+    EXPECT_EQ(data.header.jobs, 2u);
+    ASSERT_EQ(data.rows.size(), 2u);
+    EXPECT_EQ(data.rows[0].status, JobStatus::Ok);
+    EXPECT_DOUBLE_EQ(data.rows[0].metrics.at("throughput_qps"), 99.5);
+    EXPECT_DOUBLE_EQ(data.rows[0].metrics.at("served"), 1234.0);
+    EXPECT_EQ(data.rows[1].status, JobStatus::Error);
+    EXPECT_EQ(data.rows[1].error, "exploded");
+    EXPECT_TRUE(data.rows[1].metrics.empty());
+    std::remove(path.c_str());
+}
+
+TEST(ReadStoreTest, RejectsMissingHeaderAndWrongSchema)
+{
+    const std::string path = tempPath("bad.jsonl");
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << "{\"kind\":\"row\",\"job\":0}\n";
+    }
+    StoreData data;
+    std::string error;
+    EXPECT_FALSE(readStore(path, &data, &error));
+    EXPECT_NE(error.find("no header"), std::string::npos);
+
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << "{\"kind\":\"header\",\"store_schema\":99}\n";
+    }
+    StoreData d2;
+    EXPECT_FALSE(readStore(path, &d2, &error));
+    EXPECT_NE(error.find("store_schema"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sweep
+}  // namespace proteus

@@ -7,12 +7,19 @@
 #ifndef PROTEUS_TESTS_TESTING_FIXTURES_H_
 #define PROTEUS_TESTS_TESTING_FIXTURES_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
 
 #include "cluster/device.h"
 #include "models/cost_model.h"
 #include "models/model.h"
 #include "models/profiler.h"
+#include "sweep/runner.h"
 
 namespace proteus {
 namespace testing {
@@ -55,6 +62,63 @@ paperWorld(ProfilerOptions options = {})
     w.profiles = std::make_unique<ProfileStore>(
         profileModels(w.registry, w.cluster, *w.cost, options));
     return w;
+}
+
+// ---------------------------------------------------------------------------
+// SeedSweep: the shared N-seed byte-determinism harness
+// ---------------------------------------------------------------------------
+
+/** Shape of a seed sweep: [first, first + count) across threads. */
+struct SeedSweepOptions {
+    std::uint64_t first = 1;  ///< first seed (inclusive)
+    int count = 20;           ///< number of seeds
+    int threads = 4;          ///< worker threads (sweep::parallelFor)
+};
+
+/**
+ * Run @p fn(seed) once per seed across the sweep runner's worker
+ * pool and return the fingerprints in seed order. @p fn must be
+ * callable concurrently from multiple threads — build any World or
+ * system state inside the function, never share it across seeds.
+ */
+template <typename Fn>
+std::vector<std::string>
+runSeedSweep(Fn&& fn, SeedSweepOptions opts = {})
+{
+    std::vector<std::string> out(static_cast<std::size_t>(opts.count));
+    sweep::parallelFor(out.size(), opts.threads, [&](std::size_t i) {
+        out[i] = fn(opts.first + static_cast<std::uint64_t>(i));
+    });
+    return out;
+}
+
+/**
+ * The shared 20-seed byte-determinism pattern: run @p fn twice per
+ * seed in parallel and assert the fingerprints are byte-identical.
+ * Pairs run concurrently across seeds, so this also exercises the
+ * claim that parallel in-process runs do not perturb each other.
+ * Assertions fire on the calling thread (gtest EXPECT_* is not
+ * guaranteed thread-safe), so workers only collect strings.
+ */
+template <typename Fn>
+void
+expectSeedSweepByteIdentical(Fn&& fn, SeedSweepOptions opts = {})
+{
+    std::vector<std::pair<std::string, std::string>> runs(
+        static_cast<std::size_t>(opts.count));
+    sweep::parallelFor(runs.size(), opts.threads, [&](std::size_t i) {
+        const std::uint64_t seed =
+            opts.first + static_cast<std::uint64_t>(i);
+        runs[i].first = fn(seed);
+        runs[i].second = fn(seed);
+    });
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const std::uint64_t seed =
+            opts.first + static_cast<std::uint64_t>(i);
+        EXPECT_FALSE(runs[i].first.empty()) << "seed " << seed;
+        EXPECT_EQ(runs[i].first, runs[i].second)
+            << "same-seed runs differ at seed " << seed;
+    }
 }
 
 }  // namespace testing

@@ -8,13 +8,22 @@
  *
  * Usage:
  *   bench_diff <baseline.json|dir> <candidate.json|dir>
- *              [--rel <frac>] [--abs <delta>]
+ *              [--rel <frac>] [--abs <delta>] [--stats]
  *
  * A metric regresses when it moves in its bad direction by more than
  * `abs + rel * |baseline|`. Directions are metric-specific (higher
  * throughput is better, lower violation ratio is better; neutral
  * metrics such as demand_qps use a symmetric band). Reports with
  * different schema versions or bench names refuse to compare.
+ *
+ * --stats switches to confidence-interval gating for multi-seed
+ * aggregate reports (proteus_sweep): a metric with a sibling
+ * `<metric>_ci95` entry on both sides regresses only when it moves in
+ * its bad direction by more than the two half-widths combined (i.e.
+ * the 95% intervals are disjoint the wrong way). Metrics without CI
+ * data on both sides — single-seed groups — degenerate to the
+ * tolerance band above. `<metric>_ci95` entries themselves are
+ * metadata and never compared directly.
  *
  * Exit codes: 0 = within tolerance, 1 = regression (or schema/name
  * mismatch, or a baseline report missing from the candidate side),
@@ -53,6 +62,8 @@ directionOf(const std::string& metric)
         {"events_per_sec", Direction::HigherBetter},
         {"slo_violation_ratio", Direction::LowerBetter},
         {"allocs_per_query", Direction::LowerBetter},
+        {"served_late", Direction::LowerBetter},
+        {"failed_jobs", Direction::LowerBetter},
         {"violations", Direction::LowerBetter},
         {"max_accuracy_drop", Direction::LowerBetter},
         {"dropped", Direction::LowerBetter},
@@ -69,7 +80,19 @@ directionOf(const std::string& metric)
 struct Tolerances {
     double rel = 0.10;
     double abs = 0.01;
+    bool stats = false;  ///< CI-overlap gating where _ci95 data exists
 };
+
+/** CI-metadata suffix emitted by proteus_sweep's aggregation pass. */
+const std::string kCiSuffix = "_ci95";
+
+bool
+isCiKey(const std::string& metric)
+{
+    return metric.size() > kCiSuffix.size() &&
+           metric.compare(metric.size() - kCiSuffix.size(),
+                          kCiSuffix.size(), kCiSuffix) == 0;
+}
 
 struct Finding {
     std::string where;  ///< "bench/system/metric"
@@ -164,6 +187,8 @@ diffReports(const std::string& base_path, const std::string& cand_path,
     const auto cand_vals = flattenResults(cand);
     bool regressed = false;
     for (const auto& [key, bval] : base_vals) {
+        if (isCiKey(metricOf(key)))
+            continue;  // CI half-widths are metadata, not metrics
         auto it = cand_vals.find(key);
         if (it == cand_vals.end()) {
             std::cerr << "bench_diff: " << base_bench << "/" << key
@@ -172,7 +197,15 @@ diffReports(const std::string& base_path, const std::string& cand_path,
             continue;
         }
         const double cval = it->second;
-        const double allowed = tol.abs + tol.rel * std::abs(bval);
+        double allowed = tol.abs + tol.rel * std::abs(bval);
+        if (tol.stats) {
+            // CI-overlap gating: only when both sides carry a CI for
+            // this metric; single-seed groups keep the tolerance band.
+            auto bci = base_vals.find(key + kCiSuffix);
+            auto cci = cand_vals.find(key + kCiSuffix);
+            if (bci != base_vals.end() && cci != cand_vals.end())
+                allowed = bci->second + cci->second;
+        }
         double worse = 0.0;
         switch (directionOf(metricOf(key))) {
           case Direction::HigherBetter:
@@ -226,6 +259,8 @@ main(int argc, char** argv)
             tol.rel = std::atof(argv[++i]);
         } else if (arg == "--abs" && i + 1 < argc) {
             tol.abs = std::atof(argv[++i]);
+        } else if (arg == "--stats") {
+            tol.stats = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "bench_diff: unknown option " << arg << "\n";
             return 2;
@@ -236,7 +271,7 @@ main(int argc, char** argv)
     if (paths.size() != 2) {
         std::cerr << "usage: bench_diff <baseline.json|dir> "
                      "<candidate.json|dir> [--rel <frac>] "
-                     "[--abs <delta>]\n";
+                     "[--abs <delta>] [--stats]\n";
         return 2;
     }
 
@@ -294,8 +329,9 @@ main(int argc, char** argv)
     }
     if (worst == 0) {
         std::cout << "bench_diff: " << compared << " report(s) within "
-                  << "tolerance (rel=" << fmt(tol.rel)
-                  << ", abs=" << fmt(tol.abs) << ")\n";
+                  << (tol.stats ? "CI bounds/" : "") << "tolerance "
+                  << "(rel=" << fmt(tol.rel) << ", abs=" << fmt(tol.abs)
+                  << ")\n";
     } else if (worst == 1) {
         std::cout << "bench_diff: " << findings.size()
                   << " regression(s) detected\n";

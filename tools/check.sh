@@ -70,6 +70,26 @@ alloc_smoke() {
         "${dir}/BENCH_events_per_sec.json"
 }
 
+sweep_smoke() {
+    # Parallel experiment runner smoke (ISSUE 7): a 2-config x 10-seed
+    # matrix on 4 worker threads must produce a merged store
+    # byte-identical to the single-threaded run, and the aggregated
+    # report must gate through bench_diff --stats (CI-overlap) against
+    # the committed baseline.
+    local dir="$1"
+    echo "=== sweep smoke: proteus_sweep 4-thread vs 1-thread ==="
+    "${dir}/tools/proteus_sweep" config/sweep_smoke.json \
+        --threads 4 --out "${dir}/sweep_store.jsonl" \
+        --report "${dir}/BENCH_sweep_smoke.json" --quiet
+    "${dir}/tools/proteus_sweep" config/sweep_smoke.json \
+        --threads 1 --out "${dir}/sweep_store_1t.jsonl" --quiet
+    cmp "${dir}/sweep_store.jsonl" "${dir}/sweep_store_1t.jsonl"
+    echo "=== sweep smoke: bench_diff --stats vs committed baseline ==="
+    "${dir}/tools/bench_diff" --stats \
+        bench/baselines/BENCH_sweep_smoke.json \
+        "${dir}/BENCH_sweep_smoke.json"
+}
+
 lint_pass() {
     # proteus_lint has no dependencies, so compile it directly: the
     # lint gate must work on machines without GTest/benchmark.
@@ -109,6 +129,7 @@ if [[ "${mode}" == "all" || "${mode}" == "plain" ]]; then
     run_pass "plain" build
     trace_smoke build
     alloc_smoke build
+    sweep_smoke build
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "strict" ]]; then

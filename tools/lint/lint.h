@@ -15,7 +15,9 @@
  *       unspecified and has leaked into decisions in other systems.
  *   D2  no direct wall-clock reads (std::chrono::{steady,system,
  *       high_resolution}_clock, time()/clock()/rand()/srand()) outside
- *       src/common/clock.h, the whitelisted WallTimer shim.
+ *       the audited shims: src/common/clock.h (WallTimer) and
+ *       src/sweep/sweep_clock.h (sweep job timing; see the allowlist
+ *       rationale at isClockShim()).
  *   D3  no float/double std::accumulate without an explicit
  *       "det-order:" comment justifying the summation order.
  *   D4  no std::cout / raw printf-family output outside bench/ and
