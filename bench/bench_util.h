@@ -45,7 +45,8 @@ runSystem(const Cluster& cluster, const ModelRegistry& registry,
     ServingSystem system(&cluster, &registry, config);
     RunResult result = system.run(trace);
     if (trace_path && system.tracer() &&
-        !obs::writeChromeTrace(*system.tracer(), trace_path)) {
+        !obs::writeChromeTrace(*system.tracer(), system.traceNames(),
+                               trace_path)) {
         warn("could not write trace file ", trace_path);
     }
     if (timeline_path && system.timeseries()) {

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Figure 12 (extension): pipeline serving under a tight end-to-end
+ * SLO. A 3-stage vision chain (detect: resnet -> classify:
+ * efficientnet -> annotate: mobilenet) runs on a mixed CPU/GPU
+ * cluster at increasing offered load. Pipeline-aware Proteus splits
+ * the 60 ms e2e SLO jointly across the stages (proportional to the
+ * best feasible variant combination), which keeps the GTX tier usable
+ * for the detect stage; the per-stage-independent baseline's equal
+ * split pins detect to the few V100s and collapses once demand
+ * outgrows them. Clipper/INFaaS run on the same equal split — they
+ * have no notion of a pipeline.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace proteus;
+
+/** The 3-stage vision chain with an explicit 60 ms e2e SLO. */
+PipelineSpec
+visionPipeline()
+{
+    PipelineSpec spec;
+    spec.name = "vision";
+    spec.slo = millis(60.0);
+    spec.stages.push_back({"detect", "resnet", {}});
+    spec.stages.push_back({"classify", "efficientnet", {"detect"}});
+    spec.stages.push_back({"annotate", "mobilenet", {"classify"}});
+    return spec;
+}
+
+/** The mixed cluster the pipeline_* configs use. */
+Cluster
+pipelineCluster()
+{
+    Cluster cluster;
+    StandardTypes types = addStandardTypes(&cluster);
+    cluster.addDevices(types.cpu, 8);
+    cluster.addDevices(types.gtx1080ti, 4);
+    cluster.addDevices(types.v100, 4);
+    return cluster;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace proteus;
+    using namespace proteus::bench;
+
+    Cluster cluster = pipelineCluster();
+    ModelRegistry reg;
+    for (const auto& fam : miniModelZoo())
+        reg.registerFamily(fam);
+
+    const std::vector<double> loads = {300.0, 450.0, 600.0};
+
+    struct System {
+        const char* name;
+        AllocatorKind allocator;
+        bool joint;
+    };
+    const std::vector<System> systems = {
+        {"proteus", AllocatorKind::ProteusIlp, true},
+        {"proteus_independent", AllocatorKind::ProteusIlp, false},
+        {"clipper_ha", AllocatorKind::ClipperHA, false},
+        {"clipper_ht", AllocatorKind::ClipperHT, false},
+        {"infaas", AllocatorKind::InfaasAccuracy, false},
+    };
+
+    std::cout << "== Fig. 12: 3-stage pipeline, 60 ms e2e SLO, "
+                 "joint vs per-stage-independent planning ==\n\n";
+
+    JsonReport report("fig12_pipelines");
+    TextTable summary;
+    summary.setHeader({"system", "entry_qps", "e2e_violation_ratio",
+                       "effective_acc", "served", "dropped", "shed",
+                       "forwarded"});
+    bool joint_wins = true;
+    for (double qps : loads) {
+        double joint_ratio = 0.0, indep_ratio = 0.0;
+        PipelineTraceConfig wl;
+        wl.qps = qps;
+        wl.duration = seconds(60.0);
+        Trace trace = pipelineTrace({0}, wl);
+        for (const System& sys : systems) {
+            SystemConfig cfg;
+            cfg.allocator = sys.allocator;
+            cfg.pipelines = {visionPipeline()};
+            cfg.pipeline_joint_planning = sys.joint;
+            RunResult r = runSystem(cluster, reg, cfg, trace);
+            const std::string label =
+                std::string(sys.name) + "@" + fmtDouble(qps, 0);
+            report.addRun(label, r);
+            summary.addRow({label,
+                            fmtDouble(qps, 0),
+                            fmtDouble(r.summary.slo_violation_ratio, 4),
+                            fmtPercent(r.summary.effective_accuracy, 2),
+                            std::to_string(r.summary.served),
+                            std::to_string(r.summary.dropped),
+                            std::to_string(r.shed),
+                            std::to_string(r.forwarded)});
+            if (sys.joint)
+                joint_ratio = r.summary.slo_violation_ratio;
+            else if (sys.allocator == AllocatorKind::ProteusIlp)
+                indep_ratio = r.summary.slo_violation_ratio;
+        }
+        if (joint_ratio >= indep_ratio)
+            joint_wins = false;
+    }
+    summary.print(std::cout);
+    report.write();
+    std::cout
+        << "\nShape check: "
+        << (joint_wins ? "PASS" : "FAIL")
+        << " — joint planning's e2e violation ratio is below the "
+           "per-stage-independent split's at every offered load on "
+           "the same trace. The equal split starves the detect stage "
+           "of the GTX tier, so its violations explode once demand "
+           "outgrows the V100s, while the joint split keeps every "
+           "stage on a feasible budget.\n";
+    return joint_wins ? 0 : 1;
+}

@@ -74,6 +74,12 @@ using FamilyId = std::uint32_t;
 /** Identifier of an inference query. */
 using QueryId = std::uint64_t;
 
+/** Identifier of a serving pipeline (DAG of model families). */
+using PipelineId = std::uint32_t;
+
+/** Index of a stage within a pipeline's topological order. */
+using StageIndex = std::uint32_t;
+
 /** Sentinel for invalid 32-bit ids. */
 inline constexpr std::uint32_t kInvalidId =
     std::numeric_limits<std::uint32_t>::max();

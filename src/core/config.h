@@ -10,10 +10,12 @@
 #define PROTEUS_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 #include "faults/fault_plan.h"
 #include "obs/trace.h"
+#include "pipeline/pipeline.h"
 
 namespace proteus {
 
@@ -87,6 +89,20 @@ struct SystemConfig {
      * DESIGN.md, "Fault model".
      */
     FaultPlan faults;
+
+    /**
+     * Pipeline serving (DESIGN.md, "Pipeline serving"): DAGs of model
+     * families with end-to-end SLOs. Empty = single-family serving,
+     * byte-identical to the pre-pipeline system.
+     */
+    std::vector<PipelineSpec> pipelines;
+    /**
+     * Plan per-stage budgets jointly across each pipeline (enumerate
+     * variant combinations, split the e2e SLO proportionally to the
+     * winner's needs). false = per-stage-independent baseline: equal
+     * split, each stage provisioned in isolation.
+     */
+    bool pipeline_joint_planning = true;
 
     /**
      * Observability (DESIGN.md, "Observability"): per-query span

@@ -84,9 +84,42 @@ registryFromJson(const JsonValue& json)
     return reg;
 }
 
-Trace
-traceFromJson(const JsonValue& json, std::size_t num_families)
+std::vector<PipelineSpec>
+pipelinesFromJson(const JsonValue& json)
 {
+    std::vector<PipelineSpec> specs;
+    if (!json.has("pipelines"))
+        return specs;
+    for (const JsonValue& p : json.at("pipelines").asArray()) {
+        PipelineSpec spec;
+        spec.name = p.stringOr("name", "");
+        if (spec.name.empty())
+            PROTEUS_FATAL("pipeline entry is missing \"name\"");
+        spec.slo = seconds(p.numberOr("slo_sec", 0.0));
+        spec.slo_multiplier = p.numberOr("slo_multiplier", 0.0);
+        if (!p.has("stages"))
+            PROTEUS_FATAL("pipeline \"", spec.name,
+                          "\" is missing \"stages\"");
+        for (const JsonValue& s : p.at("stages").asArray()) {
+            PipelineStageSpec stage;
+            stage.name = s.stringOr("name", "");
+            stage.family = s.stringOr("family", "");
+            if (s.has("deps")) {
+                for (const JsonValue& d : s.at("deps").asArray())
+                    stage.deps.push_back(d.asString());
+            }
+            spec.stages.push_back(std::move(stage));
+        }
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+Trace
+traceFromJson(const JsonValue& json, const ModelRegistry& registry,
+              const std::vector<PipelineSpec>& pipelines)
+{
+    const std::size_t num_families = registry.numFamilies();
     if (!json.has("workload"))
         PROTEUS_FATAL("config is missing the \"workload\" object");
     const JsonValue& w = json.at("workload");
@@ -136,6 +169,34 @@ traceFromJson(const JsonValue& json, std::size_t num_families)
             PROTEUS_FATAL("cannot open trace file: ", path);
         return Trace::readCsv(in);
     }
+    if (kind == "pipeline") {
+        if (pipelines.empty())
+            PROTEUS_FATAL("workload kind \"pipeline\" needs a "
+                          "\"pipelines\" array in the config");
+        // Compile here to resolve family names and topo order; the
+        // serving system recompiles identically from the same specs.
+        CompiledPipelines compiled;
+        std::string error;
+        if (!compilePipelines(pipelines, registry, &compiled, &error))
+            PROTEUS_FATAL("pipeline config error: ", error);
+        std::vector<FamilyId> entries;
+        for (PipelineId p = 0; p < compiled.size(); ++p)
+            entries.push_back(compiled.entryFamily(p));
+        PipelineTraceConfig cfg;
+        cfg.qps = w.numberOr("qps", cfg.qps);
+        cfg.duration = duration;
+        cfg.seed = seed;
+        std::string process = w.stringOr("process", "poisson");
+        if (process == "uniform")
+            cfg.process = ArrivalProcess::Uniform;
+        else if (process == "poisson")
+            cfg.process = ArrivalProcess::Poisson;
+        else if (process == "gamma")
+            cfg.process = ArrivalProcess::Gamma;
+        else
+            PROTEUS_FATAL("unknown arrival process: ", process);
+        return pipelineTrace(entries, cfg);
+    }
     PROTEUS_FATAL("unknown workload kind: ", kind);
 }
 
@@ -170,6 +231,16 @@ loadExperiment(const JsonValue& json)
         "latency_jitter", spec.config.latency_jitter_frac);
     spec.config.seed =
         static_cast<std::uint64_t>(json.numberOr("seed", 1.0));
+    spec.config.pipelines = pipelinesFromJson(json);
+    const std::string planning =
+        json.stringOr("pipeline_planning", "joint");
+    if (planning == "joint")
+        spec.config.pipeline_joint_planning = true;
+    else if (planning == "independent")
+        spec.config.pipeline_joint_planning = false;
+    else
+        PROTEUS_FATAL("unknown pipeline_planning: ", planning,
+                      " (use \"joint\"/\"independent\")");
 
     if (json.has("observability")) {
         const JsonValue& o = json.at("observability");
@@ -205,7 +276,8 @@ loadExperiment(const JsonValue& json)
 
     spec.cluster = clusterFromJson(json);
     spec.registry = registryFromJson(json);
-    spec.trace = traceFromJson(json, spec.registry.numFamilies());
+    spec.trace =
+        traceFromJson(json, spec.registry, spec.config.pipelines);
     return spec;
 }
 
@@ -231,7 +303,9 @@ runExperiment(ExperimentSpec* spec)
                          spec->config);
     RunResult result = system.run(spec->trace);
     if (!spec->trace_path.empty()) {
-        if (!obs::writeChromeTrace(*system.tracer(), spec->trace_path))
+        if (!obs::writeChromeTrace(*system.tracer(),
+                                   system.traceNames(),
+                                   spec->trace_path))
             warn("could not write trace file ", spec->trace_path);
     }
     if (!spec->metrics_path.empty()) {

@@ -49,6 +49,18 @@ struct Query {
     /** Start of the batch execution that served it. */
     Time exec_start = kNoTime;
 
+    // Pipeline cursor (DESIGN.md, "Pipeline serving"). Single-family
+    // queries keep the defaults; the one hot-path branch they pay is
+    // the pipeline == kInvalidId test in the stage router.
+    /** Pipeline this query traverses (kInvalidId = single-family). */
+    PipelineId pipeline = kInvalidId;
+    /** Current stage in the pipeline's topological order. */
+    StageIndex stage = 0;
+    /** Last stage index (stage == last_stage on the final hop). */
+    StageIndex last_stage = 0;
+    /** Product of completed stages' normalized accuracies (0..1). */
+    double acc_product = 1.0;
+
     /** @return true once the query reached a terminal state. */
     bool
     finished() const
@@ -75,6 +87,15 @@ inline void
 traceQueryEnd(obs::Tracer* tracer, const Query& query,
               VariantId variant = kInvalidId)
 {
+    // An intermediate pipeline stage completing is not the end of the
+    // query: the stage router forwards it, and the terminal hop (or a
+    // drop at any stage) records the one Query span. The skip runs
+    // before the stage router advances the cursor, so stage <
+    // last_stage still identifies the hop as intermediate.
+    if (query.pipeline != kInvalidId && query.stage < query.last_stage &&
+        query.status != QueryStatus::Dropped) {
+        return;
+    }
     obs::SpanRecord s;
     s.kind = obs::SpanKind::Query;
     s.start = query.arrival;
@@ -86,6 +107,9 @@ traceQueryEnd(obs::Tracer* tracer, const Query& query,
     s.v1 = query.served_by == kInvalidId
                ? -1
                : static_cast<std::int64_t>(query.served_by);
+    s.v2 = query.pipeline == kInvalidId
+               ? 0
+               : static_cast<std::int64_t>(query.pipeline) + 1;
     tracer->record(s);
 }
 

@@ -65,12 +65,26 @@ LoadBalancer::pickWorker()
 void
 LoadBalancer::submit(Query* query)
 {
+    admit(query, query->arrival, /*is_arrival=*/true);
+}
+
+void
+LoadBalancer::forward(Query* query)
+{
+    // The previous stage's completion starts the Route span: the span
+    // then covers the cross-stage hand-off gap.
+    admit(query, query->completion, /*is_arrival=*/false);
+}
+
+void
+LoadBalancer::admit(Query* query, Time route_start, bool is_arrival)
+{
     PROTEUS_ASSERT(query->family == family_,
                    "query routed to wrong balancer");
     const Time now = sim_->now();
     query->routed_at = now;
     rate_.record(now);
-    if (observer_)
+    if (is_arrival && observer_)
         observer_->onArrival(*query);
 
     // Burst detection (monitoring daemon): demand sustained above the
@@ -113,11 +127,17 @@ LoadBalancer::submit(Query* query)
     if (tracer_) {
         obs::SpanRecord s;
         s.kind = obs::SpanKind::Route;
-        s.start = query->arrival;
+        s.start = route_start;
         s.end = now;
         s.id = query->id;
         s.a = family_;
+        if (query->pipeline != kInvalidId)
+            s.v0 = static_cast<std::int64_t>(query->stage) + 1;
         tracer_->record(s);
+    }
+    if (!is_arrival) {
+        // Forwarded hop: the stage ahead owns completion from here.
+        query->completion = kNoTime;
     }
     worker->enqueue(query);
 }

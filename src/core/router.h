@@ -68,6 +68,17 @@ class LoadBalancer
     void submit(Query* query);
 
     /**
+     * Admit a query forwarded from an upstream pipeline stage: routed
+     * and shed exactly like submit() — forwarded traffic is demand on
+     * this family, so it feeds the monitor window and the burst alarm
+     * — but without the arrival announcement (the query entered the
+     * system once, at its entry stage). The Route span starts at the
+     * previous stage's completion, making the cross-stage gap visible
+     * to the trace tooling.
+     */
+    void forward(Query* query);
+
+    /**
      * Route a query that is already in the system (e.g. bounced by a
      * worker during a variant swap); does not count as a new arrival
      * and is never shed.
@@ -107,6 +118,8 @@ class LoadBalancer
 
   private:
     Worker* pickWorker();
+    /** Shared admission path of submit() and forward(). */
+    void admit(Query* query, Time route_start, bool is_arrival);
 
     Simulator* sim_;
     FamilyId family_;

@@ -13,6 +13,7 @@
 #include "baselines/sommelier.h"
 #include "common/logging.h"
 #include "core/batching.h"
+#include "pipeline/planner.h"
 #include <cstdlib>
 
 namespace proteus {
@@ -126,6 +127,30 @@ ServingSystem::ServingSystem(const Cluster* cluster,
                config.snapshot_interval),
       health_(cluster->numDevices())
 {
+    // Pipeline serving: compile the DAGs, derive end-to-end SLOs,
+    // carve per-stage budgets and re-profile the stage families under
+    // them — before the allocator reads profile capacity.
+    if (!config_.pipelines.empty()) {
+        std::string perr;
+        if (!compilePipelines(config_.pipelines, *registry_,
+                              &pipelines_, &perr)) {
+            PROTEUS_FATAL("pipeline config: ", perr);
+        }
+        PipelinePlannerOptions popt;
+        popt.slo_multiplier = config_.slo_multiplier;
+        popt.slo_anchor_type = config_.slo_anchor_type;
+        popt.joint = config_.pipeline_joint_planning;
+        planPipelineBudgets(&pipelines_, *registry_, *cluster_, cost_,
+                            popt);
+        for (const CompiledPipeline& pipe : pipelines_.pipelines()) {
+            for (const CompiledStage& st : pipe.stages) {
+                reprofileFamilySlo(&profiles_, *registry_, *cluster_,
+                                   cost_, st.family, st.budget,
+                                   config_.max_batch_cap);
+            }
+        }
+    }
+
     allocator_ = makeAllocator();
 
     // Observability: one tracer for the whole system, created only
@@ -160,6 +185,24 @@ ServingSystem::ServingSystem(const Cluster* cluster,
     pool_release_ =
         std::make_unique<PoolReleaseObserver>(observer_, &query_pool_);
     observer_ = pool_release_.get();
+
+    // Stage router: outermost, so intermediate pipeline-stage
+    // completions are intercepted and forwarded before the metrics
+    // sinks count them or the pool release recycles the slot. The
+    // forwarder is a raw function pointer + context (no per-query
+    // allocation); the hop itself is deferred one zero-delay event in
+    // forwardQuery() because the completion that triggers it is still
+    // inside Worker::finishBatch.
+    if (!pipelines_.empty()) {
+        stage_router_ =
+            std::make_unique<StageRouter>(observer_, &pipelines_);
+        stage_router_->setForwarder(
+            [](void* ctx, Query* q) {
+                static_cast<ServingSystem*>(ctx)->forwardQuery(q);
+            },
+            this);
+        observer_ = stage_router_.get();
+    }
 
     // One worker per device. Requeued queries (variant swaps, stale
     // routing) are re-submitted through the family's load balancer on
@@ -367,6 +410,40 @@ ServingSystem::registerTimeSeriesChannels()
     ts->addProbe("alloc.pool_in_use", [this] {
         return static_cast<double>(query_pool_.in_use());
     });
+
+    // Pipeline channels (registered only when pipelines exist, so
+    // single-family timelines keep their exact channel set): per-
+    // pipeline e2e completion rates plus per-stage forward/drop rates.
+    if (stage_router_) {
+        StageRouter* sr = stage_router_.get();
+        for (PipelineId p = 0; p < pipelines_.size(); ++p) {
+            const std::string prefix =
+                "pipeline." + std::to_string(p) + ".";
+            ts->addCounterRate(prefix + "e2e_served_qps", [sr, p] {
+                return static_cast<double>(sr->stats(p).served);
+            });
+            ts->addCounterRate(prefix + "e2e_late_qps", [sr, p] {
+                return static_cast<double>(sr->stats(p).served_late);
+            });
+            ts->addCounterRate(prefix + "e2e_dropped_qps", [sr, p] {
+                return static_cast<double>(sr->stats(p).dropped);
+            });
+            const std::size_t stages =
+                pipelines_.pipeline(p).stages.size();
+            for (std::size_t s = 0; s < stages; ++s) {
+                const std::string sp =
+                    prefix + "stage." + std::to_string(s) + ".";
+                ts->addCounterRate(sp + "forward_qps", [sr, p, s] {
+                    return static_cast<double>(
+                        sr->stats(p).stages[s].forwarded);
+                });
+                ts->addCounterRate(sp + "drop_qps", [sr, p, s] {
+                    return static_cast<double>(
+                        sr->stats(p).stages[s].dropped);
+                });
+            }
+        }
+    }
 }
 
 std::unique_ptr<BatchingPolicy>
@@ -507,12 +584,37 @@ ServingSystem::injectArrivals()
         q->family = e.family;
         q->arrival = sim_.now();
         q->deadline = sim_.now() + profiles_.slo(e.family);
+        if (!pipelines_.empty()) {
+            const PipelineId p = pipelines_.pipelineOf(e.family);
+            if (p != kInvalidId) {
+                const CompiledPipeline& pipe = pipelines_.pipeline(p);
+                q->pipeline = p;
+                // Traces normally address the entry family; an
+                // arrival at a later stage's family enters there.
+                q->stage = pipelines_.stageOf(e.family);
+                q->last_stage =
+                    static_cast<StageIndex>(pipe.stages.size() - 1);
+                // One deadline for the whole traversal: the e2e SLO.
+                q->deadline = sim_.now() + pipe.slo;
+            }
+        }
         balancers_[e.family]->submit(q);
     }
     if (trace_cursor_ < events.size()) {
         sim_.scheduleAt(events[trace_cursor_].at,
                         [this] { injectArrivals(); });
     }
+}
+
+void
+ServingSystem::forwardQuery(Query* query)
+{
+    // Deferred one zero-delay event: the completion that triggered
+    // this hop is still inside Worker::finishBatch, which owns the
+    // in-flight batch state. Same-time FIFO keeps runs deterministic.
+    sim_.scheduleAfter(0, [this, query] {
+        balancers_[query->family]->forward(query);
+    });
 }
 
 Time
@@ -530,6 +632,19 @@ ServingSystem::beginRun(const Trace& trace,
     }
     PROTEUS_ASSERT(planning_demand.size() == registry_->numFamilies(),
                    "planning demand size mismatch");
+
+    // Demand propagation: every query admitted at a pipeline's entry
+    // stage eventually reaches each downstream stage, but the trace
+    // only carries entry-family arrivals. Fold the entry demand into
+    // the downstream families so the allocator provisions them too.
+    for (const CompiledPipeline& pipe : pipelines_.pipelines()) {
+        const double entry =
+            planning_demand[pipe.stages.front().family];
+        for (std::size_t s = 1; s < pipe.stages.size(); ++s) {
+            double& d = planning_demand[pipe.stages[s].family];
+            d = std::max(d, entry);
+        }
+    }
 
     metrics_.start();
     if (timeseries_)
@@ -644,6 +759,15 @@ ServingSystem::finishRun()
         result.faults_injected = injector_->injected();
     if (slo_monitor_)
         result.slo_alarms = slo_monitor_->alarmsRaised();
+    if (stage_router_) {
+        result.forwarded = stage_router_->forwarded();
+        for (PipelineId p = 0; p < pipelines_.size(); ++p) {
+            PipelineRunStats prs;
+            prs.name = pipelines_.pipeline(p).name;
+            prs.stats = stage_router_->stats(p);
+            result.pipelines.push_back(std::move(prs));
+        }
+    }
     return result;
 }
 
@@ -654,6 +778,28 @@ ServingSystem::run(const Trace& trace,
     const Time horizon = beginRun(trace, std::move(planning_demand));
     advanceTo(horizon);
     return finishRun();
+}
+
+obs::TraceNameTables
+ServingSystem::traceNames() const
+{
+    obs::TraceNameTables names;
+    names.families.reserve(registry_->numFamilies());
+    for (FamilyId f = 0; f < registry_->numFamilies(); ++f)
+        names.families.push_back(registry_->family(f).name);
+    names.variants.reserve(registry_->numVariants());
+    for (VariantId v = 0; v < registry_->numVariants(); ++v)
+        names.variants.push_back(registry_->variant(v).name);
+    for (const CompiledPipeline& pipe : pipelines_.pipelines()) {
+        obs::TraceNameTables::Pipeline p;
+        p.name = pipe.name;
+        for (const CompiledStage& st : pipe.stages) {
+            p.families.push_back(st.family);
+            p.stages.push_back(st.name);
+        }
+        names.pipelines.push_back(std::move(p));
+    }
+    return names;
 }
 
 }  // namespace proteus

@@ -37,7 +37,10 @@
 #include "models/cost_model.h"
 #include "models/model.h"
 #include "models/profiler.h"
+#include "obs/exporter.h"
 #include "obs/metrics_registry.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/stage_router.h"
 #include "obs/slo_monitor.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -64,6 +67,10 @@ struct RunResult {
     int faults_injected = 0;
     /** SLO burn-rate alarms raised (0 with observability off). */
     std::uint64_t slo_alarms = 0;
+    /** Stage completions forwarded between pipeline stages. */
+    std::uint64_t forwarded = 0;
+    /** Per-pipeline e2e counters (empty without pipelines). */
+    std::vector<PipelineRunStats> pipelines;
 };
 
 /** Fully assembled inference-serving system on a simulated cluster. */
@@ -123,6 +130,18 @@ class ServingSystem
     /** @return the SLO of family @p f. */
     Duration slo(FamilyId f) const { return profiles_.slo(f); }
 
+    /** @return the compiled pipelines (empty without pipelines). */
+    const CompiledPipelines& compiledPipelines() const
+    {
+        return pipelines_;
+    }
+
+    /**
+     * @return name tables (families, variants, pipeline stage maps)
+     * for the trace exporter, so offline tools can label raw ids.
+     */
+    obs::TraceNameTables traceNames() const;
+
     /** @return the configured allocator (for overhead stats). */
     Allocator* allocator() { return allocator_.get(); }
 
@@ -162,6 +181,7 @@ class ServingSystem
   private:
     void applyPlan(const Allocation& plan);
     void injectArrivals();
+    void forwardQuery(Query* query);
     void registerTimeSeriesChannels();
     std::unique_ptr<BatchingPolicy> makeBatchingPolicy() const;
     std::unique_ptr<Allocator> makeAllocator();
@@ -174,6 +194,8 @@ class ServingSystem
     Simulator sim_;
     CostModel cost_;
     ProfileStore profiles_;
+    /** Compiled pipeline DAGs (empty = single-family serving). */
+    CompiledPipelines pipelines_;
     MetricsCollector metrics_;
     obs::MetricsRegistry obs_registry_;
     std::unique_ptr<obs::Tracer> tracer_;
@@ -183,6 +205,9 @@ class ServingSystem
     std::unique_ptr<QueryObserver> fanout_;
     /** Recycles finished queries into the pool after the sinks ran. */
     std::unique_ptr<QueryObserver> pool_release_;
+    /** Outermost observer when pipelines are configured: intercepts
+     *  intermediate stage completions before slot release / metrics. */
+    std::unique_ptr<StageRouter> stage_router_;
     /** The observer every component reports to. */
     QueryObserver* observer_ = nullptr;
 

@@ -319,6 +319,8 @@ Worker::executeBatch(int count)
             s.a = q->family;
             s.b = *target_;
             s.v0 = device_;
+            if (q->pipeline != kInvalidId)
+                s.v1 = static_cast<std::int64_t>(q->stage) + 1;
             tracer_->record(s);
         }
         inflight_.push_back(q);
@@ -374,6 +376,8 @@ Worker::finishBatch(VariantId executed_variant)
             s.a = q->family;
             s.b = executed_variant;
             s.v0 = device_;
+            if (q->pipeline != kInvalidId)
+                s.v1 = static_cast<std::int64_t>(q->stage) + 1;
             tracer_->record(s);
             traceQueryEnd(tracer_, *q, executed_variant);
         }

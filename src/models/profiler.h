@@ -82,6 +82,13 @@ class ProfileStore
     /** Set the per-family SLO table (profiler use). */
     void setSlos(std::vector<Duration> slos) { slos_ = std::move(slos); }
 
+    /** Overwrite one family's SLO (pipeline stage budgets). */
+    void
+    setSlo(FamilyId f, Duration slo)
+    {
+        slos_[f] = slo;
+    }
+
   private:
     std::size_t num_types_;
     std::vector<BatchProfile> profiles_;
@@ -114,6 +121,47 @@ ProfileStore profileModels(const ModelRegistry& registry,
                            const Cluster& cluster,
                            const CostModel& cost,
                            const ProfilerOptions& options = {});
+
+/**
+ * Batch-1 latency of variant @p v on the anchor device type, or on
+ * its slowest type when @p anchor is kInvalidId. The quantity SLOs
+ * are multiples of; the pipeline planner prices variants with it.
+ */
+Duration variantAnchorLatency(const Cluster& cluster,
+                              const CostModel& cost, VariantId v,
+                              DeviceTypeId anchor);
+
+/**
+ * Anchor latency of family @p f: the minimum variantAnchorLatency()
+ * over its variants (the single-family SLO is a multiple of this).
+ */
+/**
+ * @return the batch-1 latency of @p v on its BEST device type (among
+ * types whose memory fits the weights): the smallest stage budget for
+ * which the variant is usable anywhere in the cluster. The pipeline
+ * planner uses this feasibility floor; the SLO convention keeps using
+ * the slowest-type anchor above.
+ */
+Duration variantFloorLatency(const Cluster& cluster,
+                             const CostModel& cost, VariantId v);
+
+Duration familyAnchorLatency(const ModelRegistry& registry,
+                             const Cluster& cluster,
+                             const CostModel& cost, FamilyId f,
+                             DeviceTypeId anchor);
+
+/**
+ * Re-derive @p family's profiles under a new SLO @p slo: the batching
+ * budget (half-SLO rule), SLO-safe max batch and peak QPS of every
+ * (variant, device type) pair are recomputed in place. Used by the
+ * pipeline planner, whose per-stage budgets replace the profiler's
+ * single-family SLOs before the first allocation pass.
+ */
+void reprofileFamilySlo(ProfileStore* store,
+                        const ModelRegistry& registry,
+                        const Cluster& cluster, const CostModel& cost,
+                        FamilyId family, Duration slo,
+                        int max_batch_cap);
 
 }  // namespace proteus
 

@@ -56,10 +56,16 @@ appendArgs(std::string* out, const SpanRecord& s)
                   &first);
         appendArg(out, "status", s.v0, &first);
         appendArg(out, "device", s.v1, &first);
+        // Pipeline label only for pipeline queries (v2 = pipeline+1):
+        // single-family traces stay byte-identical.
+        if (s.v2 != 0)
+            appendArg(out, "pipeline", s.v2 - 1, &first);
         break;
       case SpanKind::Route:
         appendArg(out, "qid", static_cast<std::int64_t>(s.id), &first);
         appendArg(out, "family", s.a, &first);
+        if (s.v0 != 0)  // stage label (v0 = stage+1) for pipelines
+            appendArg(out, "stage", s.v0 - 1, &first);
         break;
       case SpanKind::Queue:
       case SpanKind::Exec:
@@ -69,6 +75,8 @@ appendArgs(std::string* out, const SpanRecord& s)
                   s.b == kInvalidId ? -1 : static_cast<std::int64_t>(s.b),
                   &first);
         appendArg(out, "device", s.v0, &first);
+        if (s.v1 != 0)  // stage label (v1 = stage+1) for pipelines
+            appendArg(out, "stage", s.v1 - 1, &first);
         break;
       case SpanKind::Batch:
         appendArg(out, "batch", static_cast<std::int64_t>(s.id), &first);
@@ -144,10 +152,40 @@ appendPidTid(std::string* out, const SpanRecord& s)
     appendI64(out, tid);
 }
 
+/** Append @p s as a JSON string (minimal escaping: names only). */
+void
+appendJsonString(std::string* out, const std::string& s)
+{
+    *out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            *out += '\\';
+        *out += c;
+    }
+    *out += '"';
+}
+
+void
+appendNameArray(std::string* out, const char* key,
+                const std::vector<std::string>& names)
+{
+    *out += ",\"";
+    *out += key;
+    *out += "\":[";
+    bool first = true;
+    for (const std::string& name : names) {
+        if (!first)
+            *out += ',';
+        first = false;
+        appendJsonString(out, name);
+    }
+    *out += ']';
+}
+
 }  // namespace
 
 std::string
-toChromeTraceJson(const Tracer& tracer)
+toChromeTraceJson(const Tracer& tracer, const TraceNameTables& names)
 {
     std::string out;
     out.reserve(tracer.size() * 128 + 256);
@@ -173,19 +211,61 @@ toChromeTraceJson(const Tracer& tracer)
     appendU64(&out, tracer.recorded());
     out += ",\"spans_dropped\":";
     appendU64(&out, tracer.dropped());
+    // Name tables (only when provided): id -> name maps and the
+    // pipeline stage layout, so offline tools can label raw ids.
+    if (!names.families.empty())
+        appendNameArray(&out, "families", names.families);
+    if (!names.variants.empty())
+        appendNameArray(&out, "variants", names.variants);
+    if (!names.pipelines.empty()) {
+        out += ",\"pipelines\":[";
+        bool first = true;
+        for (const TraceNameTables::Pipeline& p : names.pipelines) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += "{\"name\":";
+            appendJsonString(&out, p.name);
+            out += ",\"families\":[";
+            bool ff = true;
+            for (std::uint32_t f : p.families) {
+                if (!ff)
+                    out += ',';
+                ff = false;
+                appendU64(&out, f);
+            }
+            out += ']';
+            appendNameArray(&out, "stages", p.stages);
+            out += '}';
+        }
+        out += ']';
+    }
     out += "}}";
     return out;
+}
+
+std::string
+toChromeTraceJson(const Tracer& tracer)
+{
+    return toChromeTraceJson(tracer, TraceNameTables{});
+}
+
+bool
+writeChromeTrace(const Tracer& tracer, const TraceNameTables& names,
+                 const std::string& path)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    const std::string doc = toChromeTraceJson(tracer, names);
+    f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    return static_cast<bool>(f);
 }
 
 bool
 writeChromeTrace(const Tracer& tracer, const std::string& path)
 {
-    std::ofstream f(path, std::ios::binary | std::ios::trunc);
-    if (!f)
-        return false;
-    const std::string doc = toChromeTraceJson(tracer);
-    f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-    return static_cast<bool>(f);
+    return writeChromeTrace(tracer, TraceNameTables{}, path);
 }
 
 namespace {

@@ -14,7 +14,9 @@
 #ifndef PROTEUS_OBS_EXPORTER_H_
 #define PROTEUS_OBS_EXPORTER_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -22,14 +24,45 @@
 namespace proteus {
 namespace obs {
 
+/**
+ * Optional name tables rendered into the trace's otherData so offline
+ * tools (proteus_trace) can label raw ids. Built by the caller (the
+ * obs layer knows nothing about registries); empty tables emit
+ * nothing, keeping the no-names output byte-identical.
+ */
+struct TraceNameTables {
+    /** families[f] = family name. */
+    std::vector<std::string> families;
+    /** variants[v] = variant name. */
+    std::vector<std::string> variants;
+    struct Pipeline {
+        std::string name;
+        /** Stage families in topological order. */
+        std::vector<std::uint32_t> families;
+        /** Stage names, same order. */
+        std::vector<std::string> stages;
+    };
+    /** pipelines[p] = stage map of pipeline p. */
+    std::vector<Pipeline> pipelines;
+};
+
 /** @return the Chrome trace-event JSON document for @p tracer. */
 std::string toChromeTraceJson(const Tracer& tracer);
+
+/** As above, with @p names rendered into otherData. */
+std::string toChromeTraceJson(const Tracer& tracer,
+                              const TraceNameTables& names);
 
 /**
  * Write toChromeTraceJson(@p tracer) to @p path.
  * @return false when the file cannot be written.
  */
 bool writeChromeTrace(const Tracer& tracer, const std::string& path);
+
+/** As above, with @p names rendered into otherData. */
+bool writeChromeTrace(const Tracer& tracer,
+                      const TraceNameTables& names,
+                      const std::string& path);
 
 /** @return a JSON dump of every metric in @p registry. */
 std::string toMetricsJson(const MetricsRegistry& registry);

@@ -1,0 +1,191 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace proteus {
+
+namespace {
+
+bool
+fail(std::string* error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+    return false;
+}
+
+/**
+ * Kahn's algorithm with a smallest-declared-index tie-break: among
+ * the stages whose dependencies are all satisfied, the one declared
+ * first in the spec runs first. The resulting order is a pure
+ * function of the spec, independent of container iteration order.
+ */
+bool
+topoOrder(const PipelineSpec& spec,
+          const std::vector<std::vector<std::size_t>>& deps,
+          std::vector<std::size_t>* order, std::string* error)
+{
+    const std::size_t n = spec.stages.size();
+    std::vector<std::size_t> pending(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pending[i] = deps[i].size();
+    std::vector<bool> placed(n, false);
+    order->clear();
+    order->reserve(n);
+    while (order->size() < n) {
+        std::size_t next = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!placed[i] && pending[i] == 0) {
+                next = i;
+                break;
+            }
+        }
+        if (next == n) {
+            return fail(error, "pipeline \"" + spec.name +
+                                   "\" has a dependency cycle");
+        }
+        placed[next] = true;
+        order->push_back(next);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (placed[i])
+                continue;
+            for (std::size_t d : deps[i]) {
+                if (d == next)
+                    --pending[i];
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+void
+CompiledPipelines::buildLookup(std::size_t num_families)
+{
+    pipeline_of_.assign(num_families, kInvalidId);
+    stage_of_.assign(num_families, kInvalidId);
+    for (PipelineId p = 0; p < pipelines_.size(); ++p) {
+        const CompiledPipeline& pipe = pipelines_[p];
+        for (StageIndex s = 0; s < pipe.stages.size(); ++s) {
+            pipeline_of_[pipe.stages[s].family] = p;
+            stage_of_[pipe.stages[s].family] = s;
+        }
+    }
+}
+
+bool
+compilePipelines(const std::vector<PipelineSpec>& specs,
+                 const ModelRegistry& registry, CompiledPipelines* out,
+                 std::string* error)
+{
+    PROTEUS_ASSERT(out != nullptr, "null output");
+    out->mutablePipelines().clear();
+    // Family uniqueness is global: a family keys one load balancer,
+    // one profile-store SLO and one MILP demand row, so it can serve
+    // at most one stage across all pipelines.
+    std::vector<bool> family_used(registry.numFamilies(), false);
+
+    for (const PipelineSpec& spec : specs) {
+        if (spec.stages.empty()) {
+            return fail(error, "pipeline \"" + spec.name +
+                                   "\" has no stages");
+        }
+        for (const auto& done : out->pipelines()) {
+            if (done.name == spec.name) {
+                return fail(error, "duplicate pipeline name \"" +
+                                       spec.name + "\"");
+            }
+        }
+
+        const std::size_t n = spec.stages.size();
+        // Resolve stage names and families; reject duplicates.
+        std::vector<FamilyId> families(n, kInvalidId);
+        for (std::size_t i = 0; i < n; ++i) {
+            const PipelineStageSpec& st = spec.stages[i];
+            if (st.name.empty()) {
+                return fail(error, "pipeline \"" + spec.name +
+                                       "\" has an unnamed stage");
+            }
+            for (std::size_t j = 0; j < i; ++j) {
+                if (spec.stages[j].name == st.name) {
+                    return fail(error, "pipeline \"" + spec.name +
+                                           "\" has duplicate stage \"" +
+                                           st.name + "\"");
+                }
+            }
+            bool found = false;
+            for (FamilyId f = 0; f < registry.numFamilies(); ++f) {
+                if (registry.family(f).name == st.family) {
+                    families[i] = f;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                return fail(error, "pipeline \"" + spec.name +
+                                       "\" stage \"" + st.name +
+                                       "\": unknown family \"" +
+                                       st.family + "\"");
+            }
+            if (family_used[families[i]]) {
+                return fail(error, "family \"" + st.family +
+                                       "\" serves more than one "
+                                       "pipeline stage");
+            }
+            family_used[families[i]] = true;
+        }
+
+        // Resolve dependency edges to stage indices.
+        std::vector<std::vector<std::size_t>> deps(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (const std::string& dep : spec.stages[i].deps) {
+                std::size_t target = n;
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (spec.stages[j].name == dep) {
+                        target = j;
+                        break;
+                    }
+                }
+                if (target == n) {
+                    return fail(error,
+                                "pipeline \"" + spec.name +
+                                    "\" stage \"" + spec.stages[i].name +
+                                    "\": unknown dependency \"" + dep +
+                                    "\"");
+                }
+                if (target == i) {
+                    return fail(error, "pipeline \"" + spec.name +
+                                           "\" stage \"" +
+                                           spec.stages[i].name +
+                                           "\" depends on itself");
+                }
+                deps[i].push_back(target);
+            }
+        }
+
+        std::vector<std::size_t> order;
+        if (!topoOrder(spec, deps, &order, error))
+            return false;
+
+        CompiledPipeline compiled;
+        compiled.name = spec.name;
+        compiled.slo = spec.slo;
+        compiled.slo_multiplier = spec.slo_multiplier;
+        compiled.stages.reserve(n);
+        for (std::size_t i : order) {
+            CompiledStage st;
+            st.name = spec.stages[i].name;
+            st.family = families[i];
+            compiled.stages.push_back(std::move(st));
+        }
+        out->mutablePipelines().push_back(std::move(compiled));
+    }
+
+    out->buildLookup(registry.numFamilies());
+    return true;
+}
+
+}  // namespace proteus

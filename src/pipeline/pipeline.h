@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Pipeline serving: DAGs of model families with end-to-end SLOs
+ * (DESIGN.md, "Pipeline serving").
+ *
+ * A PipelineSpec names a set of stages, each bound to one model
+ * family, with explicit dependency edges. compilePipelines() validates
+ * the DAG (unknown families, duplicate stage names, cycles, families
+ * shared between pipelines) and freezes one deterministic topological
+ * order per pipeline — Kahn's algorithm with a smallest-declared-index
+ * tie-break — so every run walks the stages in the same sequence.
+ *
+ * Queries execute the DAG as a linear cursor through that topological
+ * order: stage k runs after stages 0..k-1 completed, which satisfies
+ * every dependency edge (a conservative linearization; independent
+ * branches are serialized rather than raced, keeping the hot path a
+ * single integer cursor).
+ */
+
+#ifndef PROTEUS_PIPELINE_PIPELINE_H_
+#define PROTEUS_PIPELINE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "models/model.h"
+
+namespace proteus {
+
+/** One stage of a pipeline DAG (user-facing spec). */
+struct PipelineStageSpec {
+    /** Stage name, unique within the pipeline (e.g. "detect"). */
+    std::string name;
+    /** Model family serving this stage (registry family name). */
+    std::string family;
+    /** Names of stages that must complete before this one. */
+    std::vector<std::string> deps;
+};
+
+/** A pipeline: a DAG of stages with an end-to-end latency SLO. */
+struct PipelineSpec {
+    std::string name;
+    std::vector<PipelineStageSpec> stages;
+    /**
+     * Explicit end-to-end latency SLO (microseconds); 0 derives it as
+     * slo_multiplier x the sum of per-stage anchor latencies.
+     */
+    Duration slo = 0;
+    /**
+     * Multiplier for the derived SLO; 0 falls back to the system's
+     * slo_multiplier (the same knob single families use).
+     */
+    double slo_multiplier = 0.0;
+};
+
+/** One stage after compilation, in fixed topological position. */
+struct CompiledStage {
+    std::string name;
+    FamilyId family = kInvalidId;
+    /**
+     * Per-stage latency budget carved from the end-to-end SLO by the
+     * pipeline planner; becomes the stage family's SLO (and thus its
+     * batching budget and MILP capacity) via reprofileFamilySlo().
+     */
+    Duration budget = 0;
+};
+
+/** A compiled pipeline: stages in frozen topological order. */
+struct CompiledPipeline {
+    std::string name;
+    /** End-to-end latency SLO (explicit or planner-derived). */
+    Duration slo = 0;
+    /** Multiplier used when deriving the SLO (0 = system default). */
+    double slo_multiplier = 0.0;
+    std::vector<CompiledStage> stages;
+};
+
+/**
+ * The compiled pipeline set plus O(1) family -> (pipeline, stage)
+ * lookup used on the query hot path.
+ */
+class CompiledPipelines
+{
+  public:
+    /** @return true when no pipelines are configured. */
+    bool empty() const { return pipelines_.empty(); }
+
+    /** @return the number of compiled pipelines. */
+    std::size_t size() const { return pipelines_.size(); }
+
+    /** @return pipeline @p p. */
+    const CompiledPipeline&
+    pipeline(PipelineId p) const
+    {
+        return pipelines_[p];
+    }
+
+    /** @return all pipelines (planner use). */
+    std::vector<CompiledPipeline>& mutablePipelines()
+    {
+        return pipelines_;
+    }
+
+    /** @return all pipelines. */
+    const std::vector<CompiledPipeline>& pipelines() const
+    {
+        return pipelines_;
+    }
+
+    /** @return the pipeline of family @p f, kInvalidId if unstaged. */
+    PipelineId
+    pipelineOf(FamilyId f) const
+    {
+        return f < pipeline_of_.size() ? pipeline_of_[f] : kInvalidId;
+    }
+
+    /** @return the stage index of family @p f within its pipeline. */
+    StageIndex
+    stageOf(FamilyId f) const
+    {
+        return f < stage_of_.size() ? stage_of_[f] : kInvalidId;
+    }
+
+    /** @return the entry (first topological) family of pipeline @p p. */
+    FamilyId
+    entryFamily(PipelineId p) const
+    {
+        return pipelines_[p].stages.front().family;
+    }
+
+    /** Rebuild the family lookup tables (compilePipelines use). */
+    void buildLookup(std::size_t num_families);
+
+  private:
+    std::vector<CompiledPipeline> pipelines_;
+    /** Indexed by family id; kInvalidId when not part of a pipeline. */
+    std::vector<PipelineId> pipeline_of_;
+    std::vector<StageIndex> stage_of_;
+};
+
+/**
+ * Validate @p specs against @p registry and compile them into
+ * topologically ordered pipelines.
+ *
+ * Rejects: empty pipelines, duplicate pipeline or stage names,
+ * unknown families, dependencies on undeclared stages, cyclic
+ * dependency graphs, and families appearing in more than one stage
+ * across all pipelines (each family keys one router/profile, so it
+ * can serve at most one stage).
+ *
+ * @return false with a diagnostic in @p error on rejection.
+ */
+bool compilePipelines(const std::vector<PipelineSpec>& specs,
+                      const ModelRegistry& registry,
+                      CompiledPipelines* out, std::string* error);
+
+}  // namespace proteus
+
+#endif  // PROTEUS_PIPELINE_PIPELINE_H_

@@ -1,0 +1,81 @@
+#include "pipeline/stage_router.h"
+
+#include "common/logging.h"
+
+namespace proteus {
+
+StageRouter::StageRouter(QueryObserver* inner,
+                         const CompiledPipelines* pipelines)
+    : inner_(inner), pipelines_(pipelines)
+{
+    PROTEUS_ASSERT(inner != nullptr, "null inner observer");
+    PROTEUS_ASSERT(pipelines != nullptr && !pipelines->empty(),
+                   "stage router without pipelines");
+    stats_.resize(pipelines->size());
+    for (PipelineId p = 0; p < pipelines->size(); ++p)
+        stats_[p].stages.resize(pipelines->pipeline(p).stages.size());
+}
+
+void
+StageRouter::onArrival(const Query& query)
+{
+    // Arrivals happen once, at the entry stage; forwarded hops enter
+    // through LoadBalancer::forward(), which does not re-announce.
+    inner_->onArrival(query);
+}
+
+void
+StageRouter::onFinished(const Query& query)
+{
+    if (query.pipeline == kInvalidId) {
+        inner_->onFinished(query);
+        return;
+    }
+    const CompiledPipeline& pipe = pipelines_->pipeline(query.pipeline);
+    PipelineStats& stats = stats_[query.pipeline];
+    const bool completed = query.status == QueryStatus::Served ||
+                           query.status == QueryStatus::ServedLate;
+    // The observer API is read-only by design, but the lifecycle of a
+    // pipeline query is not over at an intermediate hop, and at the
+    // terminal hop the e2e accuracy/family rewrite below is what the
+    // inner sinks are meant to account.
+    Query* q = const_cast<Query*>(&query);  // NOLINT-PROTEUS(S1): the stage router owns pipeline-query lifecycle; inner observers still see a const ref
+
+    if (completed && query.stage < query.last_stage) {
+        // Intermediate completion: fold this stage's accuracy into
+        // the running product, advance the cursor and retarget at the
+        // next stage's family. The inner chain does not see the event
+        // — the query is still in flight.
+        ++stats.stages[query.stage].forwarded;
+        ++forwarded_;
+        q->acc_product *= q->accuracy / 100.0;
+        ++q->stage;
+        q->family = pipe.stages[q->stage].family;
+        q->status = QueryStatus::Pending;
+        q->accuracy = 0.0;
+        q->served_by = kInvalidId;
+        PROTEUS_ASSERT(forward_ != nullptr, "no forwarder installed");
+        forward_(ctx_, q);
+        return;
+    }
+
+    // Terminal: e2e accuracy is the product across stages (0 on a
+    // drop), and the query is remapped to the entry family so the
+    // existing per-family pipelines of the metrics collector, SLO
+    // monitor and timeline channels report end-to-end numbers.
+    if (completed) {
+        q->accuracy = 100.0 * q->acc_product * (q->accuracy / 100.0);
+        if (query.status == QueryStatus::Served)
+            ++stats.served;
+        else
+            ++stats.served_late;
+    } else {
+        q->accuracy = 0.0;
+        ++stats.stages[query.stage].dropped;
+        ++stats.dropped;
+    }
+    q->family = pipe.stages.front().family;
+    inner_->onFinished(*q);
+}
+
+}  // namespace proteus

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * StageRouter: the outermost query observer when pipelines are
+ * configured (DESIGN.md, "Pipeline serving").
+ *
+ * Workers report every terminal outcome through the observer chain.
+ * For single-family queries the router is a pass-through (one integer
+ * compare). For pipeline queries it intercepts *intermediate* stage
+ * completions — accumulates the accuracy product, advances the stage
+ * cursor, retargets the query at the next stage's family and hands it
+ * to the forward callback — without letting the inner chain see the
+ * event, so metrics are not double-counted and the pooled slot is not
+ * released while the query is still alive. Terminal outcomes (final
+ * stage, or a drop anywhere) fold the product into the query's
+ * accuracy, remap it to the entry family (so the existing per-family
+ * metrics ARE the end-to-end pipeline metrics) and flow through the
+ * inner chain once, exactly like a single-family query.
+ *
+ * Zero hot-path allocations: the forward callback is a raw function
+ * pointer + context installed once at wiring time, and all counters
+ * are preallocated per (pipeline, stage).
+ */
+
+#ifndef PROTEUS_PIPELINE_STAGE_ROUTER_H_
+#define PROTEUS_PIPELINE_STAGE_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/query.h"
+#include "pipeline/pipeline.h"
+
+namespace proteus {
+
+/** Per-stage counters kept by the stage router. */
+struct StageStats {
+    /** Stage completions handed to the next stage. */
+    std::uint64_t forwarded = 0;
+    /** Queries that terminated (dropped) at this stage. */
+    std::uint64_t dropped = 0;
+};
+
+/** Per-pipeline end-to-end counters. */
+struct PipelineStats {
+    /** End-to-end completions within the e2e SLO. */
+    std::uint64_t served = 0;
+    /** End-to-end completions past the e2e deadline. */
+    std::uint64_t served_late = 0;
+    /** Queries dropped at any stage. */
+    std::uint64_t dropped = 0;
+    std::vector<StageStats> stages;
+};
+
+/** Named per-pipeline counters surfaced in RunResult. */
+struct PipelineRunStats {
+    std::string name;
+    PipelineStats stats;
+};
+
+/** Observer that forwards completed stages to the next family. */
+class StageRouter : public QueryObserver
+{
+  public:
+    /**
+     * Forward callback: re-inject @p query (already retargeted at its
+     * next stage's family) into the serving path. A raw function
+     * pointer + context — not std::function — so installing and
+     * invoking it never allocates (lint rule A1).
+     */
+    using ForwardFn = void (*)(void* ctx, Query* query);
+
+    StageRouter(QueryObserver* inner,
+                const CompiledPipelines* pipelines);
+
+    StageRouter(const StageRouter&) = delete;
+    StageRouter& operator=(const StageRouter&) = delete;
+
+    /** Install the forward callback (wiring time, once). */
+    void
+    setForwarder(ForwardFn fn, void* ctx)
+    {
+        forward_ = fn;
+        ctx_ = ctx;
+    }
+
+    void onArrival(const Query& query) override;
+    void onFinished(const Query& query) override;
+
+    /** @return counters for pipeline @p p. */
+    const PipelineStats& stats(PipelineId p) const { return stats_[p]; }
+
+    /** @return stage completions forwarded across all pipelines. */
+    std::uint64_t forwarded() const { return forwarded_; }
+
+  private:
+    QueryObserver* inner_;
+    const CompiledPipelines* pipelines_;
+    ForwardFn forward_ = nullptr;
+    void* ctx_ = nullptr;
+    std::vector<PipelineStats> stats_;
+    std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_PIPELINE_STAGE_ROUTER_H_

@@ -148,4 +148,23 @@ steadySingleFamilyTrace(FamilyId family, double qps, Duration duration,
     return steadyTraceImpl(qps, duration, process, rng, nullptr, family);
 }
 
+Trace
+pipelineTrace(const std::vector<FamilyId>& entry_families,
+              const PipelineTraceConfig& config)
+{
+    PROTEUS_ASSERT(!entry_families.empty(),
+                   "pipeline trace needs at least one entry family");
+    Trace trace;
+    for (std::size_t i = 0; i < entry_families.size(); ++i) {
+        Rng rng(config.seed + i);
+        Trace stream = steadyTraceImpl(config.qps, config.duration,
+                                       config.process, rng, nullptr,
+                                       entry_families[i]);
+        for (const TraceEvent& e : stream.events())
+            trace.append(e.at, e.family);
+    }
+    trace.sort();
+    return trace;
+}
+
 }  // namespace proteus

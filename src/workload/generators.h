@@ -88,6 +88,25 @@ Trace steadySingleFamilyTrace(FamilyId family, double qps,
                               ArrivalProcess process,
                               std::uint64_t seed = 45);
 
+/** Parameters for the pipeline entry-stage trace. */
+struct PipelineTraceConfig {
+    /** Aggregate QPS injected at EACH entry family. */
+    double qps = 100.0;
+    Duration duration = seconds(60.0);
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    std::uint64_t seed = 46;
+};
+
+/**
+ * Generate arrivals at the entry stage of each pipeline: one steady
+ * stream per family in @p entry_families (seeded seed + index so the
+ * streams are independent), merged into a single time-sorted trace.
+ * Downstream stages receive no external arrivals — the stage router
+ * forwards completed queries to them.
+ */
+Trace pipelineTrace(const std::vector<FamilyId>& entry_families,
+                    const PipelineTraceConfig& config = {});
+
 }  // namespace proteus
 
 #endif  // PROTEUS_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,19 @@
+// Fixture: src/pipeline is decision-path code — D1 fires on unordered
+// containers and D2 on ambient clock reads, same as src/core.
+#include <chrono>
+#include <unordered_map>
+
+namespace fx {
+
+struct StageTable {
+    std::unordered_map<int, int> stage_of_family;
+    std::unordered_map<int, int> cache;  // NOLINT-PROTEUS(D1): lookup-only cache, never iterated
+};
+
+long
+planStamp()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fx

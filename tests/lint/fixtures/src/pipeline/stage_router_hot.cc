@@ -1,0 +1,39 @@
+// Fixture: the stage router is on the query hot path — A1 fires on
+// heap allocation and std::function; the raw-pointer forwarder and
+// placement new into pooled storage are allowed.
+#include <functional>
+#include <memory>
+#include <new>
+
+namespace fx {
+
+struct Hop {
+    int query = 0;
+};
+
+using ForwardFn = void (*)(void*, Hop*);  // allowed: no type erasure
+
+Hop*
+heapHop()
+{
+    return new Hop{};
+}
+
+std::unique_ptr<Hop>
+ownedHop()
+{
+    return std::make_unique<Hop>();
+}
+
+using Forwarder = std::function<void(Hop*)>;
+
+// NOLINTNEXTLINE-PROTEUS(A1): construction-time wiring, not per-query
+using AllowedForwarder = std::function<void()>;
+
+Hop*
+pooledHop(void* storage)
+{
+    return new (storage) Hop{};  // placement new: allowed
+}
+
+}  // namespace fx

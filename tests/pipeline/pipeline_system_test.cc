@@ -1,0 +1,188 @@
+/**
+ * @file
+ * End-to-end pipeline serving tests: a 3-stage vision chain running
+ * through the full ServingSystem. Checks the stage-router lifecycle
+ * (forward counts, terminal accounting, e2e accuracy product) and
+ * 20-seed byte-identical determinism of pipeline runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "core/serving_system.h"
+#include "models/model.h"
+#include "testing/fixtures.h"
+#include "workload/generators.h"
+
+namespace proteus {
+namespace {
+
+void
+appendF(std::string* out, const char* fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out->append(buf);
+}
+
+PipelineSpec
+visionPipeline()
+{
+    PipelineSpec spec;
+    spec.name = "vision";
+    spec.slo = millis(60.0);
+    spec.stages.push_back({"detect", "resnet", {}});
+    spec.stages.push_back({"classify", "efficientnet", {"detect"}});
+    spec.stages.push_back({"annotate", "mobilenet", {"classify"}});
+    return spec;
+}
+
+/** The fig12 cluster: enough GPUs that the chain actually flows. */
+Cluster
+pipelineCluster()
+{
+    Cluster cluster;
+    StandardTypes types = addStandardTypes(&cluster);
+    cluster.addDevices(types.cpu, 8);
+    cluster.addDevices(types.gtx1080ti, 4);
+    cluster.addDevices(types.v100, 4);
+    return cluster;
+}
+
+RunResult
+pipelineRun(std::uint64_t seed)
+{
+    Cluster cluster = pipelineCluster();
+    ModelRegistry reg;
+    for (const auto& fam : miniModelZoo())
+        reg.registerFamily(fam);
+
+    SystemConfig cfg;
+    cfg.seed = seed;
+    cfg.pipelines = {visionPipeline()};
+    cfg.pipeline_joint_planning = true;
+
+    PipelineTraceConfig wl;
+    wl.qps = 80.0;
+    wl.duration = seconds(20.0);
+    wl.seed = seed;
+    Trace trace = pipelineTrace({0}, wl);
+
+    ServingSystem system(&cluster, &reg, cfg);
+    return system.run(trace);
+}
+
+TEST(PipelineSystem, ForwardsEveryCompletedStage)
+{
+    RunResult r = pipelineRun(7);
+    ASSERT_EQ(r.pipelines.size(), 1u);
+    EXPECT_EQ(r.pipelines[0].name, "vision");
+    const PipelineStats& stats = r.pipelines[0].stats;
+    ASSERT_EQ(stats.stages.size(), 3u);
+
+    // Queries flow: forwarded hops exist and every e2e completion
+    // traversed both intermediate stages.
+    EXPECT_GT(r.summary.arrivals, 0u);
+    EXPECT_GT(stats.served, 0u);
+    EXPECT_GT(r.forwarded, 0u);
+    std::uint64_t stage_fwd = 0;
+    for (const StageStats& st : stats.stages)
+        stage_fwd += st.forwarded;
+    EXPECT_EQ(stage_fwd, r.forwarded);
+    // The last stage never forwards.
+    EXPECT_EQ(stats.stages.back().forwarded, 0u);
+    // A query that completes e2e was forwarded at stages 0 and 1.
+    EXPECT_GE(r.forwarded, 2 * stats.served);
+}
+
+TEST(PipelineSystem, TerminalAccountingConservesArrivals)
+{
+    RunResult r = pipelineRun(8);
+    ASSERT_EQ(r.pipelines.size(), 1u);
+    const PipelineStats& stats = r.pipelines[0].stats;
+    // Every entry arrival terminates exactly once: served within the
+    // e2e SLO, served late, or dropped/shed at some stage.
+    EXPECT_EQ(stats.served + stats.served_late + stats.dropped,
+              r.summary.arrivals);
+    // The e2e numbers are what the summary (entry-family remap) sees.
+    EXPECT_EQ(stats.served, r.summary.served);
+    EXPECT_EQ(stats.served_late, r.summary.served_late);
+}
+
+TEST(PipelineSystem, EffectiveAccuracyIsAStageProduct)
+{
+    RunResult r = pipelineRun(9);
+    // Normalized accuracies run 80-100% per family; the e2e number is
+    // the product across three stages, so it must sit strictly below
+    // 100% (no stage serves its best variant everywhere under the
+    // tight SLO) yet above the all-worst-variant floor of ~66%.
+    EXPECT_GT(r.summary.effective_accuracy, 66.0);
+    EXPECT_LT(r.summary.effective_accuracy, 100.0);
+}
+
+/** Canonical byte serialization of a pipeline run. */
+std::string
+fingerprint(const RunResult& r)
+{
+    std::string s;
+    appendF(&s, "arr=%llu served=%llu late=%llu drop=%llu shed=%llu\n",
+            (unsigned long long)r.summary.arrivals,
+            (unsigned long long)r.summary.served,
+            (unsigned long long)r.summary.served_late,
+            (unsigned long long)r.summary.dropped,
+            (unsigned long long)r.shed);
+    appendF(&s, "tput=%.17g acc=%.17g viol=%.17g fwd=%llu\n",
+            r.summary.avg_throughput_qps, r.summary.effective_accuracy,
+            r.summary.slo_violation_ratio,
+            (unsigned long long)r.forwarded);
+    appendF(&s, "reallocs=%d batch=%.17g\n", r.reallocations,
+            r.mean_batch_size);
+    for (const PipelineRunStats& p : r.pipelines) {
+        appendF(&s, "p=%s s=%llu l=%llu d=%llu\n", p.name.c_str(),
+                (unsigned long long)p.stats.served,
+                (unsigned long long)p.stats.served_late,
+                (unsigned long long)p.stats.dropped);
+        for (const StageStats& st : p.stats.stages) {
+            appendF(&s, "  f=%llu d=%llu\n",
+                    (unsigned long long)st.forwarded,
+                    (unsigned long long)st.dropped);
+        }
+    }
+    for (const auto& snap : r.timeline) {
+        appendF(&s, "t=%lld a=%llu s=%llu l=%llu d=%llu acc=%.17g\n",
+                (long long)snap.start,
+                (unsigned long long)snap.total.arrivals,
+                (unsigned long long)snap.total.served,
+                (unsigned long long)snap.total.served_late,
+                (unsigned long long)snap.total.dropped,
+                snap.total.accuracy_sum);
+    }
+    return s;
+}
+
+std::string
+seededPipelineRun(std::uint64_t seed)
+{
+    return fingerprint(pipelineRun(seed));
+}
+
+TEST(PipelineSystem, SameSeedByteIdenticalAcross20Seeds)
+{
+    // Shared harness: 20 seeds, each run twice, pairs spread across
+    // the sweep runner's worker pool (tests/testing/fixtures.h).
+    testing::expectSeedSweepByteIdentical(seededPipelineRun);
+}
+
+TEST(PipelineSystem, DifferentSeedsDiffer)
+{
+    EXPECT_NE(seededPipelineRun(200), seededPipelineRun(201));
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * PipelineSpec compilation tests: DAG validation (cycles, duplicate
+ * names, unknown families/deps, family reuse) and the fixed
+ * topological order with its family -> (pipeline, stage) lookup.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "models/model.h"
+#include "pipeline/pipeline.h"
+
+namespace proteus {
+namespace {
+
+ModelRegistry
+miniRegistry()
+{
+    ModelRegistry reg;
+    for (const auto& fam : miniModelZoo())
+        reg.registerFamily(fam);
+    return reg;
+}
+
+PipelineSpec
+chainSpec()
+{
+    PipelineSpec spec;
+    spec.name = "vision";
+    spec.stages.push_back({"detect", "resnet", {}});
+    spec.stages.push_back({"classify", "efficientnet", {"detect"}});
+    spec.stages.push_back({"annotate", "mobilenet", {"classify"}});
+    return spec;
+}
+
+TEST(PipelineCompile, ChainCompilesInTopoOrder)
+{
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    ASSERT_TRUE(compilePipelines({chainSpec()}, reg, &out, &error))
+        << error;
+    ASSERT_EQ(out.size(), 1u);
+    const CompiledPipeline& pipe = out.pipeline(0);
+    ASSERT_EQ(pipe.stages.size(), 3u);
+    EXPECT_EQ(pipe.stages[0].name, "detect");
+    EXPECT_EQ(pipe.stages[1].name, "classify");
+    EXPECT_EQ(pipe.stages[2].name, "annotate");
+}
+
+TEST(PipelineCompile, DeclarationOrderDoesNotMatter)
+{
+    // Stages declared backwards: the compiler must emit dependency
+    // order, not declaration order, and the order must be a fixed
+    // function of the spec (deterministic across runs).
+    PipelineSpec spec;
+    spec.name = "vision";
+    spec.stages.push_back({"annotate", "mobilenet", {"classify"}});
+    spec.stages.push_back({"classify", "efficientnet", {"detect"}});
+    spec.stages.push_back({"detect", "resnet", {}});
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    ASSERT_TRUE(compilePipelines({spec}, reg, &out, &error)) << error;
+    const CompiledPipeline& pipe = out.pipeline(0);
+    EXPECT_EQ(pipe.stages[0].name, "detect");
+    EXPECT_EQ(pipe.stages[1].name, "classify");
+    EXPECT_EQ(pipe.stages[2].name, "annotate");
+}
+
+TEST(PipelineCompile, FamilyLookupMatchesStages)
+{
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    ASSERT_TRUE(compilePipelines({chainSpec()}, reg, &out, &error));
+    // mini zoo: resnet=0, efficientnet=1, mobilenet=2.
+    EXPECT_EQ(out.pipelineOf(0), 0u);
+    EXPECT_EQ(out.stageOf(0), 0u);
+    EXPECT_EQ(out.stageOf(1), 1u);
+    EXPECT_EQ(out.stageOf(2), 2u);
+    EXPECT_EQ(out.entryFamily(0), 0u);
+}
+
+TEST(PipelineCompile, RejectsCycle)
+{
+    PipelineSpec spec;
+    spec.name = "loop";
+    spec.stages.push_back({"a", "resnet", {"c"}});
+    spec.stages.push_back({"b", "efficientnet", {"a"}});
+    spec.stages.push_back({"c", "mobilenet", {"b"}});
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    EXPECT_FALSE(compilePipelines({spec}, reg, &out, &error));
+    EXPECT_NE(error.find("cycle"), std::string::npos) << error;
+}
+
+TEST(PipelineCompile, RejectsSelfDependency)
+{
+    PipelineSpec spec;
+    spec.name = "self";
+    spec.stages.push_back({"a", "resnet", {"a"}});
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    EXPECT_FALSE(compilePipelines({spec}, reg, &out, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(PipelineCompile, RejectsDuplicateStageNames)
+{
+    PipelineSpec spec;
+    spec.name = "dup";
+    spec.stages.push_back({"a", "resnet", {}});
+    spec.stages.push_back({"a", "efficientnet", {}});
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    EXPECT_FALSE(compilePipelines({spec}, reg, &out, &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(PipelineCompile, RejectsDuplicatePipelineNames)
+{
+    PipelineSpec a;
+    a.name = "same";
+    a.stages.push_back({"a", "resnet", {}});
+    PipelineSpec b;
+    b.name = "same";
+    b.stages.push_back({"b", "mobilenet", {}});
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    EXPECT_FALSE(compilePipelines({a, b}, reg, &out, &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(PipelineCompile, RejectsUnknownFamily)
+{
+    PipelineSpec spec;
+    spec.name = "ghost";
+    spec.stages.push_back({"a", "bert", {}});
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    EXPECT_FALSE(compilePipelines({spec}, reg, &out, &error));
+    EXPECT_NE(error.find("bert"), std::string::npos) << error;
+}
+
+TEST(PipelineCompile, RejectsUnknownDependency)
+{
+    PipelineSpec spec;
+    spec.name = "dangling";
+    spec.stages.push_back({"a", "resnet", {"nope"}});
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    EXPECT_FALSE(compilePipelines({spec}, reg, &out, &error));
+    EXPECT_NE(error.find("nope"), std::string::npos) << error;
+}
+
+TEST(PipelineCompile, RejectsFamilyInTwoPipelines)
+{
+    PipelineSpec a;
+    a.name = "one";
+    a.stages.push_back({"a", "resnet", {}});
+    PipelineSpec b;
+    b.name = "two";
+    b.stages.push_back({"b", "resnet", {}});
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    EXPECT_FALSE(compilePipelines({a, b}, reg, &out, &error));
+    EXPECT_NE(error.find("more than one"), std::string::npos) << error;
+}
+
+TEST(PipelineCompile, RejectsEmptyStages)
+{
+    PipelineSpec spec;
+    spec.name = "empty";
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    EXPECT_FALSE(compilePipelines({spec}, reg, &out, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(PipelineCompile, UnstagedFamiliesLookupAsInvalid)
+{
+    PipelineSpec spec;
+    spec.name = "partial";
+    spec.stages.push_back({"a", "resnet", {}});
+    ModelRegistry reg = miniRegistry();
+    CompiledPipelines out;
+    std::string error;
+    ASSERT_TRUE(compilePipelines({spec}, reg, &out, &error)) << error;
+    EXPECT_EQ(out.pipelineOf(1), kInvalidId);  // efficientnet
+    EXPECT_EQ(out.pipelineOf(2), kInvalidId);  // mobilenet
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Pipeline budget planner tests: the largest-remainder splitBudget
+ * helper, derived vs explicit end-to-end SLOs, and the joint vs
+ * equal-split budget decomposition on the mini zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "models/cost_model.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/planner.h"
+#include "testing/fixtures.h"
+
+namespace proteus {
+namespace {
+
+Duration
+sum(const std::vector<Duration>& v)
+{
+    return std::accumulate(v.begin(), v.end(), Duration{0});
+}
+
+TEST(SplitBudget, SumsExactlyToTotal)
+{
+    const std::vector<Duration> weights = {3, 3, 3};
+    const std::vector<Duration> budgets = splitBudget(100, weights);
+    ASSERT_EQ(budgets.size(), 3u);
+    EXPECT_EQ(sum(budgets), 100);
+}
+
+TEST(SplitBudget, ProportionalToWeights)
+{
+    const std::vector<Duration> budgets =
+        splitBudget(1000, {600, 300, 100});
+    ASSERT_EQ(budgets.size(), 3u);
+    EXPECT_EQ(budgets[0], 600);
+    EXPECT_EQ(budgets[1], 300);
+    EXPECT_EQ(budgets[2], 100);
+}
+
+TEST(SplitBudget, RemainderGoesToEarlierStageOnTies)
+{
+    // 100 over three equal weights: 33/33/33 leaves 1 over; the
+    // largest-remainder rule breaks the three-way tie toward the
+    // earliest stage.
+    const std::vector<Duration> budgets = splitBudget(100, {1, 1, 1});
+    EXPECT_EQ(sum(budgets), 100);
+    EXPECT_EQ(budgets[0], 34);
+    EXPECT_EQ(budgets[1], 33);
+    EXPECT_EQ(budgets[2], 33);
+}
+
+TEST(SplitBudget, ZeroWeightsSplitEqually)
+{
+    const std::vector<Duration> budgets = splitBudget(90, {0, 0, 0});
+    ASSERT_EQ(budgets.size(), 3u);
+    EXPECT_EQ(budgets[0], 30);
+    EXPECT_EQ(budgets[1], 30);
+    EXPECT_EQ(budgets[2], 30);
+}
+
+TEST(SplitBudget, SingleStageTakesAll)
+{
+    const std::vector<Duration> budgets = splitBudget(12345, {7});
+    ASSERT_EQ(budgets.size(), 1u);
+    EXPECT_EQ(budgets[0], 12345);
+}
+
+/** Shared fixture: the 3-stage vision chain compiled on miniWorld. */
+struct PlannerWorld {
+    testing::World world = testing::miniWorld();
+    CompiledPipelines pipelines;
+
+    explicit PlannerWorld(Duration slo = 0)
+    {
+        PipelineSpec spec;
+        spec.name = "vision";
+        spec.slo = slo;
+        spec.stages.push_back({"detect", "resnet", {}});
+        spec.stages.push_back(
+            {"classify", "efficientnet", {"detect"}});
+        spec.stages.push_back(
+            {"annotate", "mobilenet", {"classify"}});
+        std::string error;
+        EXPECT_TRUE(compilePipelines({spec}, world.registry,
+                                     &pipelines, &error))
+            << error;
+    }
+
+    void
+    plan(bool joint)
+    {
+        PipelinePlannerOptions opts;
+        opts.joint = joint;
+        CostModel cost(world.cluster, world.registry);
+        planPipelineBudgets(&pipelines, world.registry, world.cluster,
+                            cost, opts);
+    }
+};
+
+TEST(PipelinePlanner, BudgetsSumToExplicitSlo)
+{
+    PlannerWorld pw(millis(60.0));
+    pw.plan(/*joint=*/true);
+    const CompiledPipeline& pipe = pw.pipelines.pipeline(0);
+    EXPECT_EQ(pipe.slo, millis(60.0));
+    Duration total = 0;
+    for (const CompiledStage& st : pipe.stages) {
+        EXPECT_GT(st.budget, 0);
+        total += st.budget;
+    }
+    EXPECT_EQ(total, pipe.slo);
+}
+
+TEST(PipelinePlanner, DerivedSloIsPositiveAndBudgetsSum)
+{
+    PlannerWorld pw;  // slo = 0 -> derive from anchors
+    pw.plan(/*joint=*/true);
+    const CompiledPipeline& pipe = pw.pipelines.pipeline(0);
+    EXPECT_GT(pipe.slo, 0);
+    Duration total = 0;
+    for (const CompiledStage& st : pipe.stages)
+        total += st.budget;
+    EXPECT_EQ(total, pipe.slo);
+}
+
+TEST(PipelinePlanner, IndependentSplitsEqually)
+{
+    PlannerWorld pw(millis(60.0));
+    pw.plan(/*joint=*/false);
+    const CompiledPipeline& pipe = pw.pipelines.pipeline(0);
+    // Equal split of 60 ms over 3 stages: 20 ms each.
+    for (const CompiledStage& st : pipe.stages)
+        EXPECT_EQ(st.budget, millis(20.0));
+}
+
+TEST(PipelinePlanner, JointSkewsBudgetsTowardSlowStages)
+{
+    PlannerWorld pw(millis(60.0));
+    pw.plan(/*joint=*/true);
+    const CompiledPipeline& pipe = pw.pipelines.pipeline(0);
+    // resnet's best batch-1 latency dominates efficientnet's and
+    // mobilenet's, so the joint split must give detect strictly more
+    // than the equal share (and more than either downstream stage).
+    EXPECT_GT(pipe.stages[0].budget, millis(20.0));
+    EXPECT_GT(pipe.stages[0].budget, pipe.stages[1].budget);
+    EXPECT_GT(pipe.stages[0].budget, pipe.stages[2].budget);
+}
+
+TEST(PipelinePlanner, JointAndIndependentAgreeOnSlo)
+{
+    PlannerWorld joint(millis(60.0));
+    joint.plan(/*joint=*/true);
+    PlannerWorld indep(millis(60.0));
+    indep.plan(/*joint=*/false);
+    EXPECT_EQ(joint.pipelines.pipeline(0).slo,
+              indep.pipelines.pipeline(0).slo);
+}
+
+TEST(PipelinePlanner, InfeasibleSloStillSumsToSlo)
+{
+    // 1 ms e2e SLO: no variant combination fits. The planner falls
+    // back to the min-floor weights; budgets must still sum exactly.
+    PlannerWorld pw(millis(1.0));
+    pw.plan(/*joint=*/true);
+    const CompiledPipeline& pipe = pw.pipelines.pipeline(0);
+    Duration total = 0;
+    for (const CompiledStage& st : pipe.stages)
+        total += st.budget;
+    EXPECT_EQ(total, millis(1.0));
+}
+
+}  // namespace
+}  // namespace proteus

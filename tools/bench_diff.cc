@@ -288,21 +288,38 @@ main(int argc, char** argv)
     }
     bool missing = false;
     if (base_is_dir) {
-        const auto names = benchFilesIn(paths[0]);
-        if (names.empty()) {
+        const auto base_names = benchFilesIn(paths[0]);
+        const auto cand_names = benchFilesIn(paths[1]);
+        if (base_names.empty()) {
             std::cerr << "bench_diff: no BENCH_*.json in " << paths[0]
                       << "\n";
             return 2;
         }
-        for (const std::string& name : names) {
-            const std::string cand = paths[1] + "/" + name;
-            if (!std::filesystem::exists(cand, ec)) {
-                std::cerr << "bench_diff: " << name
-                          << " missing from " << paths[1] << "\n";
+        // Compare the two sorted listings both ways so a rename shows
+        // up as one missing + one extra file, not a silent skip.
+        for (const std::string& name : base_names) {
+            if (!std::filesystem::exists(paths[1] + "/" + name, ec)) {
+                std::cerr
+                    << "bench_diff: baseline " << name
+                    << " has no candidate in " << paths[1]
+                    << " — run the corresponding bench binary to "
+                       "produce it, or delete " << paths[0] << "/"
+                    << name << " if the bench was retired\n";
                 missing = true;
                 continue;
             }
-            pairs.emplace_back(paths[0] + "/" + name, cand);
+            pairs.emplace_back(paths[0] + "/" + name,
+                               paths[1] + "/" + name);
+        }
+        for (const std::string& name : cand_names) {
+            if (!std::filesystem::exists(paths[0] + "/" + name, ec)) {
+                std::cerr
+                    << "bench_diff: candidate " << name
+                    << " has no committed baseline — add one with: "
+                       "cp " << paths[1] << "/" << name << " "
+                    << paths[0] << "/\n";
+                missing = true;
+            }
         }
     } else {
         pairs.emplace_back(paths[0], paths[1]);
@@ -334,7 +351,11 @@ main(int argc, char** argv)
                   << ")\n";
     } else if (worst == 1) {
         std::cout << "bench_diff: " << findings.size()
-                  << " regression(s) detected\n";
+                  << " regression(s) detected";
+        if (missing)
+            std::cout << " (plus missing/extra report files, see "
+                         "above)";
+        std::cout << "\n";
     }
     return worst;
 }

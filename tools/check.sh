@@ -90,6 +90,19 @@ sweep_smoke() {
         "${dir}/BENCH_sweep_smoke.json"
 }
 
+pipeline_smoke() {
+    # Pipeline serving smoke (ISSUE 8): fig12 must reproduce the joint
+    # vs per-stage-independent separation (nonzero exit on a flipped
+    # shape), and its report must gate against the committed baseline.
+    local dir="$1"
+    echo "=== pipeline smoke: fig12_pipelines shape check ==="
+    (cd "${dir}" && ./bench/fig12_pipelines > /dev/null)
+    echo "=== pipeline smoke: bench_diff vs committed baseline ==="
+    "${dir}/tools/bench_diff" \
+        bench/baselines/BENCH_fig12_pipelines.json \
+        "${dir}/BENCH_fig12_pipelines.json"
+}
+
 lint_pass() {
     # proteus_lint has no dependencies, so compile it directly: the
     # lint gate must work on machines without GTest/benchmark.
@@ -130,6 +143,7 @@ if [[ "${mode}" == "all" || "${mode}" == "plain" ]]; then
     trace_smoke build
     alloc_smoke build
     sweep_smoke build
+    pipeline_smoke build
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "strict" ]]; then

@@ -403,7 +403,7 @@ bool
 isDecisionPath(const std::string& path)
 {
     return pathHas(path, "src/solver/") || pathHas(path, "src/core/") ||
-           pathHas(path, "src/sim/");
+           pathHas(path, "src/sim/") || pathHas(path, "src/pipeline/");
 }
 
 /**
@@ -440,7 +440,8 @@ isHotPath(const std::string& path)
     return pathHas(path, "src/core/worker") ||
            pathHas(path, "src/core/router") ||
            pathHas(path, "src/core/batching") ||
-           pathHas(path, "src/core/query");
+           pathHas(path, "src/core/query") ||
+           pathHas(path, "src/pipeline/stage_router");
 }
 
 // ---------------------------------------------------------------------------
@@ -758,7 +759,7 @@ ruleRegistry()
 {
     static const std::vector<RuleInfo> kRules = {
         {"D1", "no unordered containers in solver/controller/router/sim "
-               "code (src/solver, src/core, src/sim)"},
+               "code (src/solver, src/core, src/sim, src/pipeline)"},
         {"D2", "no direct wall-clock or ambient PRNG reads outside the "
                "audited shims (src/common/clock.h, "
                "src/sweep/sweep_clock.h)"},
@@ -769,7 +770,7 @@ ruleRegistry()
         {"A1", "no heap allocation (new / make_unique / make_shared) or "
                "std::function in hot-path files (src/sim, "
                "src/common/alloc, src/core/{worker,router,batching,"
-               "query})"},
+               "query}, src/pipeline/stage_router)"},
         {"S1", "no const_cast / reinterpret_cast in src/"},
         {"S2", "no TODO/FIXME without an issue reference TODO(#N)"},
         {"S3", "every NOLINT-PROTEUS names known rules and carries a "

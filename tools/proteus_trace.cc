@@ -48,6 +48,55 @@ ms(double us)
     return proteus::fmtDouble(us / 1000.0, 2);
 }
 
+/** Name tables parsed from otherData (empty on older traces). */
+struct NameTables {
+    std::vector<std::string> families;
+    std::vector<std::string> variants;
+    struct Pipeline {
+        std::string name;
+        std::vector<std::string> stages;
+    };
+    std::vector<Pipeline> pipelines;
+
+    /** @return the name for @p id, or the bare id when unnamed. */
+    static std::string
+    label(const std::vector<std::string>& names, long long id)
+    {
+        if (id >= 0 && static_cast<std::size_t>(id) < names.size())
+            return names[static_cast<std::size_t>(id)];
+        return std::to_string(id);
+    }
+};
+
+NameTables
+parseNameTables(const JsonValue& doc)
+{
+    NameTables names;
+    if (!doc.has("otherData"))
+        return names;
+    const JsonValue& other = doc.at("otherData");
+    if (other.has("families")) {
+        for (const JsonValue& f : other.at("families").asArray())
+            names.families.push_back(f.asString());
+    }
+    if (other.has("variants")) {
+        for (const JsonValue& v : other.at("variants").asArray())
+            names.variants.push_back(v.asString());
+    }
+    if (other.has("pipelines")) {
+        for (const JsonValue& p : other.at("pipelines").asArray()) {
+            NameTables::Pipeline pipe;
+            pipe.name = p.stringOr("name", "");
+            if (p.has("stages")) {
+                for (const JsonValue& s : p.at("stages").asArray())
+                    pipe.stages.push_back(s.asString());
+            }
+            names.pipelines.push_back(std::move(pipe));
+        }
+    }
+    return names;
+}
+
 }  // namespace
 
 int
@@ -109,6 +158,8 @@ main(int argc, char** argv)
     }
     std::cout << " ==\n\n";
 
+    const NameTables names = parseNameTables(doc);
+
     // Per-variant stage breakdown. Stage durations are grouped by the
     // variant that served the query: queue/exec spans carry it
     // directly; route waits and end-to-end times come from the query
@@ -167,8 +218,10 @@ main(int argc, char** argv)
             if (row.vals->empty())
                 continue;
             std::vector<double> p = percentiles(*row.vals, kPs);
-            stages.addRow({variant < 0 ? std::string("(dropped)")
-                                       : std::to_string(variant),
+            stages.addRow({variant < 0
+                               ? std::string("(dropped)")
+                               : NameTables::label(names.variants,
+                                                   variant),
                            row.stage,
                            std::to_string(row.vals->size()), ms(p[0]),
                            ms(p[1]), ms(p[2])});
@@ -176,6 +229,105 @@ main(int argc, char** argv)
     }
     std::cout << "-- per-variant stage latency --\n";
     stages.print(std::cout);
+
+    // Per-pipeline e2e breakdown: exec time per stage, the queue gap
+    // between consecutive stages (next stage's exec start minus the
+    // previous stage's exec end — routing plus queueing of the hop),
+    // and the end-to-end latency from the query span. Only present
+    // when the trace carries pipeline/stage args.
+    struct PipelineDurations {
+        std::map<long long, std::vector<double>> stage_exec;
+        std::map<long long, std::vector<double>> stage_gap;
+        std::vector<double> e2e;
+    };
+    std::map<long long, PipelineDurations> by_pipeline;
+    // qid -> pipeline, from the (terminal) query spans.
+    std::map<long long, long long> pipeline_of_query;
+    // qid -> per-stage exec (ts, dur), for the gap computation.
+    std::map<long long,
+             std::map<long long, std::pair<double, double>>>
+        exec_of_query;
+    for (const Event& e : events) {
+        if (e.name == "exec" && e.args.count("stage")) {
+            long long stage =
+                static_cast<long long>(e.args.at("stage"));
+            long long qid =
+                static_cast<long long>(argOr(e, "qid", -1));
+            exec_of_query[qid][stage] = {e.ts, e.dur};
+        }
+        auto pit = e.args.find("pipeline");
+        if (pit == e.args.end())
+            continue;
+        long long p = static_cast<long long>(pit->second);
+        if (e.name == "query") {
+            by_pipeline[p].e2e.push_back(e.dur);
+            pipeline_of_query[static_cast<long long>(
+                argOr(e, "qid", -1))] = p;
+        }
+    }
+    for (const auto& [qid, stages_of] : exec_of_query) {
+        auto pit = pipeline_of_query.find(qid);
+        if (pit == pipeline_of_query.end())
+            continue;  // dropped before the terminal query span
+        PipelineDurations& pd = by_pipeline[pit->second];
+        const std::pair<double, double>* prev = nullptr;
+        long long prev_stage = -1;
+        for (const auto& [stage, td] : stages_of) {
+            pd.stage_exec[stage].push_back(td.second);
+            if (prev && stage == prev_stage + 1) {
+                pd.stage_gap[stage].push_back(
+                    td.first - (prev->first + prev->second));
+            }
+            prev = &td;
+            prev_stage = stage;
+        }
+    }
+    for (const auto& [pipe, pd] : by_pipeline) {
+        std::string pname =
+            pipe >= 0 &&
+                    static_cast<std::size_t>(pipe) <
+                        names.pipelines.size()
+                ? names.pipelines[static_cast<std::size_t>(pipe)].name
+                : std::to_string(pipe);
+        const std::vector<std::string>* stage_names =
+            pipe >= 0 && static_cast<std::size_t>(pipe) <
+                             names.pipelines.size()
+                ? &names.pipelines[static_cast<std::size_t>(pipe)]
+                       .stages
+                : nullptr;
+        auto stageLabel = [&](long long s) {
+            if (stage_names &&
+                static_cast<std::size_t>(s) < stage_names->size())
+                return (*stage_names)[static_cast<std::size_t>(s)];
+            return "stage " + std::to_string(s);
+        };
+        TextTable bt;
+        bt.setHeader({"segment", "count", "p50_ms", "p95_ms",
+                      "p99_ms"});
+        for (const auto& [stage, durs] : pd.stage_exec) {
+            std::vector<double> p = percentiles(durs, kPs);
+            bt.addRow({stageLabel(stage) + " exec",
+                       std::to_string(durs.size()), ms(p[0]),
+                       ms(p[1]), ms(p[2])});
+            auto git = pd.stage_gap.find(stage);
+            if (git != pd.stage_gap.end()) {
+                std::vector<double> g =
+                    percentiles(git->second, kPs);
+                bt.addRow({stageLabel(stage - 1) + " -> " +
+                               stageLabel(stage) + " gap",
+                           std::to_string(git->second.size()),
+                           ms(g[0]), ms(g[1]), ms(g[2])});
+            }
+        }
+        if (!pd.e2e.empty()) {
+            std::vector<double> p = percentiles(pd.e2e, kPs);
+            bt.addRow({"e2e", std::to_string(pd.e2e.size()), ms(p[0]),
+                       ms(p[1]), ms(p[2])});
+        }
+        std::cout << "\n-- pipeline " << pname
+                  << " e2e breakdown --\n";
+        bt.print(std::cout);
+    }
 
     if (!solve_durs.empty()) {
         std::vector<double> dp = percentiles(solve_durs, kPs);
@@ -207,12 +359,15 @@ main(int argc, char** argv)
         if (shown++ >= top_n)
             break;
         int status = static_cast<int>(argOr(*e, "status", 0));
+        const long long fam =
+            static_cast<long long>(argOr(*e, "family", -1));
+        const long long var =
+            static_cast<long long>(argOr(*e, "variant", -1));
         slow.addRow({std::to_string(
                          static_cast<long long>(argOr(*e, "qid", -1))),
-                     std::to_string(static_cast<long long>(
-                         argOr(*e, "family", -1))),
-                     std::to_string(static_cast<long long>(
-                         argOr(*e, "variant", -1))),
+                     NameTables::label(names.families, fam),
+                     var < 0 ? std::string("-")
+                             : NameTables::label(names.variants, var),
                      std::to_string(static_cast<long long>(
                          argOr(*e, "device", -1))),
                      status >= 0 && status <= 3 ? kStatus[status]
