@@ -3,7 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace proteus {
 
@@ -14,32 +15,32 @@ namespace {
 // registration is atomic with respect to emit(), and emit() calls the
 // fn under the lock so clearLogTimeSource() in a dying simulator's
 // destructor cannot race a concurrent log line into use-after-free.
-std::mutex g_mu;
-LogLevel g_level = LogLevel::Warn;
+Mutex g_mu;
+LogLevel g_level PROTEUS_GUARDED_BY(g_mu) = LogLevel::Warn;
 
-const void* g_time_owner = nullptr;
-double (*g_time_fn)(const void*) = nullptr;
+const void* g_time_owner PROTEUS_GUARDED_BY(g_mu) = nullptr;
+double (*g_time_fn)(const void*) PROTEUS_GUARDED_BY(g_mu) = nullptr;
 
 }  // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    const std::lock_guard<std::mutex> lock(g_mu);
+    const MutexLock lock(g_mu);
     g_level = level;
 }
 
 LogLevel
 logLevel()
 {
-    const std::lock_guard<std::mutex> lock(g_mu);
+    const MutexLock lock(g_mu);
     return g_level;
 }
 
 void
 setLogTimeSource(const void* owner, double (*fn)(const void*))
 {
-    const std::lock_guard<std::mutex> lock(g_mu);
+    const MutexLock lock(g_mu);
     g_time_owner = owner;
     g_time_fn = fn;
 }
@@ -47,7 +48,7 @@ setLogTimeSource(const void* owner, double (*fn)(const void*))
 void
 clearLogTimeSource(const void* owner)
 {
-    const std::lock_guard<std::mutex> lock(g_mu);
+    const MutexLock lock(g_mu);
     if (g_time_owner != owner)
         return;
     g_time_owner = nullptr;
@@ -59,7 +60,7 @@ namespace detail {
 void
 emit(LogLevel level, const std::string& tag, const std::string& msg)
 {
-    const std::lock_guard<std::mutex> lock(g_mu);
+    const MutexLock lock(g_mu);
     if (static_cast<int>(level) > static_cast<int>(g_level))
         return;
     if (g_time_fn) {

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Annotated synchronisation primitives (DESIGN.md, "Static analysis").
+ *
+ * Thin zero-overhead wrappers over std::mutex that carry the Clang
+ * thread-safety capability attributes from common/annotations.h.
+ * libstdc++'s std::mutex / std::lock_guard are not annotated, so code
+ * guarded by PROTEUS_GUARDED_BY must lock through these types for the
+ * `-Wthread-safety` analysis to see the acquisition.
+ *
+ * Policy (enforced by proteus_lint):
+ *
+ *  - Mutex-protected state is annotated PROTEUS_GUARDED_BY(mu) and
+ *    locked via the RAII MutexLock; rule C1 forbids raw
+ *    mutex.lock()/unlock() calls everywhere outside this one audited
+ *    file (the wrapper bodies below are the single sanctioned raw
+ *    call site, exactly like common/clock.h is for wall-clock reads).
+ *  - Lock acquisition order is global: rule C2 derives a lock-order
+ *    graph from guard nesting across all translation units and flags
+ *    any cycle as deadlock risk.
+ *  - Non-const globals/statics in thread-reachable code must be
+ *    std::atomic, const, or PROTEUS_GUARDED_BY a mutex (rule C3).
+ *
+ * Everything here is header-only and trivially inlinable: under gcc
+ * the wrappers compile to exactly the std::mutex / std::lock_guard
+ * code they replace.
+ */
+
+#ifndef PROTEUS_COMMON_SYNC_H_
+#define PROTEUS_COMMON_SYNC_H_
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace proteus {
+
+/**
+ * Annotated exclusive mutex. Construction never allocates, so Mutex
+ * members are safe in zero-allocation hot-path types (lint rule A1).
+ */
+class PROTEUS_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    /** Acquire exclusively; prefer MutexLock (rule C1). */
+    void lock() PROTEUS_ACQUIRE() { mu_.lock(); }
+
+    /** Release; prefer MutexLock (rule C1). */
+    void unlock() PROTEUS_RELEASE() { mu_.unlock(); }
+
+    /** @return true when the lock was acquired without blocking. */
+    bool try_lock() PROTEUS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/**
+ * RAII guard over a Mutex: acquires at construction, releases at
+ * scope exit. The only lint-sanctioned way to lock a Mutex outside
+ * this header.
+ */
+class PROTEUS_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& mu) PROTEUS_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+    ~MutexLock() PROTEUS_RELEASE() { mu_.unlock(); }
+
+  private:
+    Mutex& mu_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_COMMON_SYNC_H_

@@ -84,6 +84,7 @@ Histogram::percentile(double p) const
 Counter*
 MetricsRegistry::counter(const std::string& name)
 {
+    const MutexLock lock(mu_);
     auto& slot = counters_[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -93,6 +94,7 @@ MetricsRegistry::counter(const std::string& name)
 Gauge*
 MetricsRegistry::gauge(const std::string& name)
 {
+    const MutexLock lock(mu_);
     auto& slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -103,6 +105,7 @@ Histogram*
 MetricsRegistry::histogram(const std::string& name,
                            Histogram::Options options)
 {
+    const MutexLock lock(mu_);
     auto& slot = histograms_[name];
     if (!slot)
         slot = std::make_unique<Histogram>(options);

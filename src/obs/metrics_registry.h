@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
+
 namespace proteus {
 namespace obs {
 
@@ -125,6 +127,17 @@ class Histogram
 /**
  * Named metric store. Metrics are created on first access and live as
  * long as the registry; returned pointers are stable.
+ *
+ * Thread contract: creation (counter/gauge/histogram) is mutex-
+ * guarded, so concurrent components may resolve metrics while the
+ * registry is shared — e.g. per-shard controller threads registering
+ * their channels. *Updates* through the returned pointers are
+ * intentionally unsynchronised plain arithmetic: a metric object is
+ * owned by exactly one thread (the component that resolved it), which
+ * is what keeps the instrumented hot path allocation- and lock-free.
+ * The export accessors return references into guarded state and are
+ * only meaningful once writers have quiesced (end of run, after
+ * worker joins).
  */
 class MetricsRegistry
 {
@@ -146,30 +159,38 @@ class MetricsRegistry
     Histogram* histogram(const std::string& name,
                          Histogram::Options options = {});
 
-    /** @return all counters in name order. */
+    /** @return all counters in name order (export; writers quiesced). */
     const std::map<std::string, std::unique_ptr<Counter>>&
     counters() const
     {
+        const MutexLock lock(mu_);
         return counters_;
     }
 
-    /** @return all gauges in name order. */
+    /** @return all gauges in name order (export; writers quiesced). */
     const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const
     {
+        const MutexLock lock(mu_);
         return gauges_;
     }
 
-    /** @return all histograms in name order. */
+    /** @return all histograms in name order (export; writers
+     *  quiesced). */
     const std::map<std::string, std::unique_ptr<Histogram>>&
     histograms() const
     {
+        const MutexLock lock(mu_);
         return histograms_;
     }
 
   private:
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    mutable Mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        PROTEUS_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        PROTEUS_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        PROTEUS_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -23,20 +23,23 @@ toString(SpanKind kind)
     return "unknown";
 }
 
-Tracer::Tracer(std::size_t capacity)
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity)
 {
     PROTEUS_ASSERT(capacity >= 1, "tracer capacity must be >= 1");
+    const MutexLock lock(mu_);
     ring_.resize(capacity);
 }
 
 std::vector<SpanRecord>
 Tracer::spans() const
 {
+    const MutexLock lock(mu_);
     std::vector<SpanRecord> out;
-    out.reserve(size());
+    out.reserve(sizeLocked());
     if (recorded_ <= ring_.size()) {
         out.assign(ring_.begin(),
-                   ring_.begin() + static_cast<std::ptrdiff_t>(size()));
+                   ring_.begin() +
+                       static_cast<std::ptrdiff_t>(sizeLocked()));
         return out;
     }
     // Full ring: oldest span sits at the next write position.

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace proteus {
@@ -104,6 +105,12 @@ struct SpanRecord {
  * Preallocated span ring buffer. Recording is O(1), allocation-free
  * and deterministic; once full, the oldest span is overwritten and
  * counted as dropped.
+ *
+ * The ring is mutex-guarded so per-shard controller threads (and the
+ * sweep worker pool) can share one tracer: record() takes one
+ * uncontended lock, still no allocation. Spans carry simulated time,
+ * so interleaving across threads never changes exported bytes — the
+ * exporters sort by timeline, not arrival.
  */
 class Tracer
 {
@@ -118,6 +125,7 @@ class Tracer
     void
     record(const SpanRecord& span)
     {
+        const MutexLock lock(mu_);
         ring_[next_] = span;
         next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
         ++recorded_;
@@ -127,33 +135,52 @@ class Tracer
     std::vector<SpanRecord> spans() const;
 
     /** @return total record() calls over the tracer's lifetime. */
-    std::uint64_t recorded() const { return recorded_; }
+    std::uint64_t
+    recorded() const
+    {
+        const MutexLock lock(mu_);
+        return recorded_;
+    }
 
     /** @return spans lost to ring wraparound. */
     std::uint64_t
     dropped() const
     {
-        return recorded_ > ring_.size()
-                   ? recorded_ - ring_.size()
-                   : 0;
+        const MutexLock lock(mu_);
+        return droppedLocked();
     }
 
     /** @return spans currently retained. */
     std::size_t
     size() const
     {
+        const MutexLock lock(mu_);
+        return sizeLocked();
+    }
+
+    /** @return ring capacity in spans (immutable after construction). */
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::uint64_t
+    droppedLocked() const PROTEUS_REQUIRES(mu_)
+    {
+        return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+    }
+
+    std::size_t
+    sizeLocked() const PROTEUS_REQUIRES(mu_)
+    {
         return recorded_ < ring_.size()
                    ? static_cast<std::size_t>(recorded_)
                    : ring_.size();
     }
 
-    /** @return ring capacity in spans. */
-    std::size_t capacity() const { return ring_.size(); }
-
-  private:
-    std::vector<SpanRecord> ring_;
-    std::size_t next_ = 0;
-    std::uint64_t recorded_ = 0;
+    mutable Mutex mu_;
+    std::size_t capacity_ = 0;
+    std::vector<SpanRecord> ring_ PROTEUS_GUARDED_BY(mu_);
+    std::size_t next_ PROTEUS_GUARDED_BY(mu_) = 0;
+    std::uint64_t recorded_ PROTEUS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/experiment.h"
 #include "core/serving_system.h"
 
@@ -35,8 +36,8 @@ parallelFor(std::size_t n, int threads,
     }
 
     std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mu;
+    std::exception_ptr first_error;  // guarded by error_mu
+    Mutex error_mu;
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
@@ -49,7 +50,7 @@ parallelFor(std::size_t n, int threads,
                 try {
                     fn(i);
                 } catch (...) {
-                    const std::lock_guard<std::mutex> lock(error_mu);
+                    const MutexLock lock(error_mu);
                     if (!first_error)
                         first_error = std::current_exception();
                 }

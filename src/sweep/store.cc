@@ -137,6 +137,9 @@ ResultsStore::ResultsStore(const StoreHeader& header,
 {
     if (journal_path.empty())
         return;
+    // No worker thread exists yet, but locking keeps the clang
+    // thread-safety analysis exact: journal_ is guarded state.
+    const MutexLock lock(mu_);
     journal_.open(journal_path,
                   std::ios::binary | std::ios::app);
     if (!journal_) {
@@ -150,7 +153,7 @@ ResultsStore::ResultsStore(const StoreHeader& header,
 void
 ResultsStore::append(SweepRow row)
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     if (journal_.is_open()) {
         journal_ << rowJson(row, /*journal=*/true) << '\n';
         journal_.flush();
@@ -161,7 +164,7 @@ ResultsStore::append(SweepRow row)
 std::vector<SweepRow>
 ResultsStore::sortedRows() const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     std::vector<SweepRow> rows = rows_;
     std::sort(rows.begin(), rows.end(),
               [](const SweepRow& a, const SweepRow& b) {
@@ -173,7 +176,7 @@ ResultsStore::sortedRows() const
 std::size_t
 ResultsStore::failedCount() const
 {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     std::size_t failed = 0;
     for (const SweepRow& row : rows_) {
         if (row.status != JobStatus::Ok)

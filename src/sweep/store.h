@@ -27,10 +27,11 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace proteus {
 namespace sweep {
@@ -115,10 +116,10 @@ class ResultsStore
     const StoreHeader& header() const { return header_; }
 
   private:
-    StoreHeader header_;
-    mutable std::mutex mu_;
-    std::vector<SweepRow> rows_;
-    std::ofstream journal_;
+    StoreHeader header_;  ///< immutable after construction
+    mutable Mutex mu_;
+    std::vector<SweepRow> rows_ PROTEUS_GUARDED_BY(mu_);
+    std::ofstream journal_ PROTEUS_GUARDED_BY(mu_);
 };
 
 /** A row read back from a store file; metrics parsed to doubles. */

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Cross-file concurrency rules (C1..C3): the pass-1 index, the merged
+ * pass-2 analysis, rule filtering, and the suppression edge cases that
+ * only exist for cross-file findings (anchored in a different file
+ * than their cause, multi-rule lists with whitespace, wildcard
+ * next-line interaction).
+ *
+ * Inline sources exercise the semantics; the committed fixture tree
+ * pins the end-to-end behavior the golden test also covers.
+ */
+
+#include "lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using proteus::lint::analyzeSources;
+using proteus::lint::Finding;
+using proteus::lint::LintOptions;
+
+using SourceList = std::vector<std::pair<std::string, std::string>>;
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Read one committed fixture as a (repo-relative, text) source. */
+std::pair<std::string, std::string>
+fixtureSource(const std::string& rel)
+{
+    const std::string abs = std::string(LINT_FIXTURE_DIR) + "/" + rel;
+    return {"tests/lint/fixtures/" + rel, readFile(abs)};
+}
+
+/** Run both passes restricted to the concurrency rules. */
+std::vector<Finding>
+analyzeC(const SourceList& sources)
+{
+    LintOptions options;
+    options.rules = {"C1", "C2", "C3"};
+    return analyzeSources(sources, options).findings;
+}
+
+std::vector<Finding>
+withRule(const std::vector<Finding>& fs, const std::string& rule)
+{
+    std::vector<Finding> out;
+    for (const Finding& f : fs) {
+        if (f.rule == rule)
+            out.push_back(f);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// C1: raw lock()/unlock() on resolved mutexes
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyC1, FlagsRawLockAndUnlockOnResolvedMutex)
+{
+    auto fs = analyzeC({{"src/core/raw.cc",
+                         "#include <mutex>\n"
+                         "namespace x {\n"
+                         "std::mutex g_mu;\n"
+                         "void f() {\n"
+                         "    g_mu.lock();\n"
+                         "    g_mu.unlock();\n"
+                         "}\n"
+                         "}  // namespace x\n"}});
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, "C1");
+    EXPECT_EQ(fs[0].line, 5);
+    EXPECT_EQ(fs[1].rule, "C1");
+    EXPECT_EQ(fs[1].line, 6);
+}
+
+TEST(ConcurrencyC1, IgnoresLockCallsOnNonMutexObjects)
+{
+    // weak_ptr::lock() and arbitrary .lock() methods never resolve to
+    // a declared mutex, so C1 stays quiet.
+    auto fs = analyzeC(
+        {{"src/core/wp.cc",
+          "#include <memory>\n"
+          "namespace x {\n"
+          "int f(std::weak_ptr<int> w) {\n"
+          "    auto s = w.lock();\n"
+          "    return s ? *s : 0;\n"
+          "}\n"
+          "}  // namespace x\n"}});
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(ConcurrencyC1, RaiiGuardsAreTheSanctionedForm)
+{
+    auto fs = analyzeC(
+        {{"src/core/guarded.cc",
+          "#include <mutex>\n"
+          "namespace x {\n"
+          "std::mutex g_mu;\n"
+          "void f() {\n"
+          "    std::lock_guard<std::mutex> l(g_mu);\n"
+          "}\n"
+          "}  // namespace x\n"}});
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(ConcurrencyC1, SyncShimIsTheSingleAllowedRawLockSite)
+{
+    const std::string body =
+        "namespace proteus {\n"
+        "class Mutex {\n"
+        "    void lock() { mu_.lock(); }\n"
+        "    std::mutex mu_;\n"
+        "};\n"
+        "}  // namespace proteus\n";
+    EXPECT_TRUE(analyzeC({{"src/common/sync.h", body}}).empty());
+    EXPECT_FALSE(analyzeC({{"src/common/other.h", body}}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// C2: lock-order inversions across the merged graph
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyC2, FlagsInversionWithinOneTranslationUnit)
+{
+    auto fs = analyzeC({{"src/core/two.cc",
+                         "#include <mutex>\n"
+                         "namespace x {\n"
+                         "std::mutex g_a;\n"
+                         "std::mutex g_b;\n"
+                         "void f() {\n"
+                         "    std::lock_guard<std::mutex> la(g_a);\n"
+                         "    std::lock_guard<std::mutex> lb(g_b);\n"
+                         "}\n"
+                         "void g() {\n"
+                         "    std::lock_guard<std::mutex> lb(g_b);\n"
+                         "    std::lock_guard<std::mutex> la(g_a);\n"
+                         "}\n"
+                         "}  // namespace x\n"}});
+    // One finding per inverted edge: a->b and b->a each get one.
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, "C2");
+    EXPECT_EQ(fs[1].rule, "C2");
+    EXPECT_NE(fs[0].message.find("deadlock"), std::string::npos);
+}
+
+TEST(ConcurrencyC2, ConsistentOrderAcrossUnitsIsClean)
+{
+    const char* header =
+        "#include <mutex>\n"
+        "namespace x {\n"
+        "struct A { std::mutex a_mu; };\n"
+        "struct B { std::mutex b_mu; };\n"
+        "extern A g_a;\n"
+        "extern B g_b;\n"
+        "}  // namespace x\n";
+    auto tu = [](const char* fn) {
+        return std::string("#include <mutex>\n"
+                           "#include \"core/order.h\"\n"
+                           "namespace x {\n"
+                           "void ") +
+               fn +
+               "() {\n"
+               "    std::lock_guard<std::mutex> la(g_a.a_mu);\n"
+               "    std::lock_guard<std::mutex> lb(g_b.b_mu);\n"
+               "}\n"
+               "}  // namespace x\n";
+    };
+    auto fs = analyzeC({{"src/core/order.h", header},
+                        {"src/core/use1.cc", tu("f")},
+                        {"src/core/use2.cc", tu("g")}});
+    EXPECT_TRUE(withRule(fs, "C2").empty());
+}
+
+TEST(ConcurrencyC2, CrossFileInversionAnchorsInBothUnits)
+{
+    auto fs = analyzeC({fixtureSource("src/core/lock_order.h"),
+                        fixtureSource("src/core/lock_order_a.cc"),
+                        fixtureSource("src/core/lock_order_b.cc")});
+    auto c2 = withRule(fs, "C2");
+    ASSERT_EQ(c2.size(), 2u);
+    // Each finding anchors at its own TU's second acquisition and its
+    // witness cites the opposite file, so both sides of the cycle are
+    // actionable on their own.
+    EXPECT_NE(c2[0].file.find("lock_order_a.cc"), std::string::npos);
+    EXPECT_NE(c2[0].message.find("lock_order_b.cc"), std::string::npos);
+    EXPECT_NE(c2[1].file.find("lock_order_b.cc"), std::string::npos);
+    EXPECT_NE(c2[1].message.find("lock_order_a.cc"), std::string::npos);
+    EXPECT_NE(c2[0].message.find("PlanCache::plan_mu"),
+              std::string::npos);
+    EXPECT_NE(c2[0].message.find("RouteTable::route_mu"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// C3: shared mutable state in thread-reachable code
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyC3, FlagsUnguardedGlobalInSweep)
+{
+    auto fs = analyzeC({{"src/sweep/job.cc",
+                         "namespace x {\n"
+                         "int g_shared = 0;\n"
+                         "}  // namespace x\n"}});
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "C3");
+    EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(ConcurrencyC3, AtomicConstAndThreadLocalAreClean)
+{
+    auto fs = analyzeC(
+        {{"src/sweep/clean.cc",
+          "#include <atomic>\n"
+          "namespace x {\n"
+          "std::atomic<int> g_count{0};\n"
+          "const int kCap = 4;\n"
+          "constexpr double kEps = 1e-9;\n"
+          "thread_local int t_scratch = 0;\n"
+          "}  // namespace x\n"}});
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(ConcurrencyC3, GuardedByResolvedMutexIsClean)
+{
+    auto fs = analyzeC(
+        {{"src/sweep/guarded.cc",
+          "#include <mutex>\n"
+          "#include \"common/annotations.h\"\n"
+          "namespace x {\n"
+          "std::mutex g_mu;\n"
+          "int g_state PROTEUS_GUARDED_BY(g_mu) = 0;\n"
+          "}  // namespace x\n"}});
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(ConcurrencyC3, GuardNamingNoKnownMutexFires)
+{
+    auto fs = analyzeC(
+        {{"src/sweep/badguard.cc",
+          "#include \"common/annotations.h\"\n"
+          "namespace x {\n"
+          "int g_state PROTEUS_GUARDED_BY(g_phantom_mu) = 0;\n"
+          "}  // namespace x\n"}});
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "C3");
+    EXPECT_NE(fs[0].message.find("g_phantom_mu"), std::string::npos);
+}
+
+TEST(ConcurrencyC3, IncludeClosureReachesHeadersOutsideSweep)
+{
+    auto fs = analyzeC({{"src/sweep/job.cc",
+                         "#include \"core/shared.h\"\n"},
+                        {"src/core/shared.h",
+                         "namespace x {\n"
+                         "int g_reached = 0;\n"
+                         "}  // namespace x\n"},
+                        {"src/core/island.h",
+                         "namespace x {\n"
+                         "int g_unreached = 0;\n"
+                         "}  // namespace x\n"}});
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].file, "src/core/shared.h");
+    EXPECT_EQ(fs[0].rule, "C3");
+}
+
+TEST(ConcurrencyC3, HeaderReachabilityExtendsToItsImplementation)
+{
+    // A .h pulled into the closure drags its paired .cc along: the
+    // implementation runs on the same threads the interface exposes.
+    auto fs = analyzeC({{"src/sweep/job.cc",
+                         "#include \"core/table.h\"\n"},
+                        {"src/core/table.h",
+                         "namespace x {\n"
+                         "int lookup(int k);\n"
+                         "}  // namespace x\n"},
+                        {"src/core/table.cc",
+                         "#include \"core/table.h\"\n"
+                         "namespace x {\n"
+                         "int lookup(int k) {\n"
+                         "    static int hits = 0;\n"
+                         "    return k + ++hits;\n"
+                         "}\n"
+                         "}  // namespace x\n"}});
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].file, "src/core/table.cc");
+    EXPECT_NE(fs[0].message.find("function-local static"),
+              std::string::npos);
+}
+
+TEST(ConcurrencyC3, NonReachableCodeHasNoObligation)
+{
+    auto fs = analyzeC({{"src/metrics/aside.cc",
+                         "namespace x {\n"
+                         "int g_counter = 0;\n"
+                         "}  // namespace x\n"}});
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule filtering (the --rule flag's engine)
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyOptions, RuleFilterSelectsCrossFileRules)
+{
+    SourceList sources = {fixtureSource("src/sweep/c1_raw_lock.cc"),
+                          fixtureSource("src/sweep/c3_globals.cc"),
+                          fixtureSource("src/core/c3_reachable.h")};
+    LintOptions c1_only;
+    c1_only.rules = {"C1"};
+    for (const Finding& f :
+         analyzeSources(sources, c1_only).findings)
+        EXPECT_EQ(f.rule, "C1");
+
+    LintOptions c3_only;
+    c3_only.rules = {"C3"};
+    auto c3 = analyzeSources(sources, c3_only).findings;
+    EXPECT_FALSE(c3.empty());
+    for (const Finding& f : c3)
+        EXPECT_EQ(f.rule, "C3");
+}
+
+TEST(ConcurrencyOptions, PerFileRuleFilterExcludesConcurrency)
+{
+    SourceList sources = {fixtureSource("src/sweep/c1_raw_lock.cc")};
+    LintOptions d_only;
+    d_only.rules = {"D1", "D2", "D3", "D4"};
+    for (const Finding& f : analyzeSources(sources, d_only).findings)
+        EXPECT_NE(f.rule[0], 'C');
+}
+
+// ---------------------------------------------------------------------------
+// Suppression edge cases specific to cross-file findings
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencySuppressions, MultiRuleListWithWhitespaceApplies)
+{
+    // c1_raw_lock.cc line 17 carries a same-line marker naming C1 and
+    // C3 with interior whitespace around both ids — whitespace must
+    // not defeat the rule-name match.
+    auto fs = analyzeC({fixtureSource("src/sweep/c1_raw_lock.cc")});
+    auto c1 = withRule(fs, "C1");
+    ASSERT_EQ(c1.size(), 4u);
+    EXPECT_FALSE(c1[0].suppressed);
+    EXPECT_FALSE(c1[1].suppressed);
+    EXPECT_TRUE(c1[2].suppressed);
+    EXPECT_EQ(c1[2].suppress_reason,
+              "startup path, single-threaded by construction");
+    EXPECT_TRUE(c1[3].suppressed);
+}
+
+TEST(ConcurrencySuppressions, WildcardNextLineCoversCrossFileRule)
+{
+    auto fs = analyzeC({fixtureSource("src/sweep/c3_globals.cc")});
+    bool saw_wildcarded = false;
+    for (const Finding& f : fs) {
+        if (f.message.find("g_wildcarded") != std::string::npos) {
+            saw_wildcarded = true;
+            EXPECT_TRUE(f.suppressed);
+        }
+    }
+    EXPECT_TRUE(saw_wildcarded);
+}
+
+TEST(ConcurrencySuppressions, CrossFileFindingSuppressesAtItsAnchor)
+{
+    // The reachability that creates the obligation lives in
+    // c3_globals.cc, but the findings anchor in c3_reachable.h — the
+    // suppression on the anchor line is the one that counts.
+    auto fs = analyzeC({fixtureSource("src/sweep/c3_globals.cc"),
+                        fixtureSource("src/core/c3_reachable.h")});
+    auto anchored = withRule(fs, "C3");
+    int live_in_header = 0;
+    int suppressed_in_header = 0;
+    for (const Finding& f : anchored) {
+        if (f.file.find("c3_reachable.h") == std::string::npos)
+            continue;
+        if (f.suppressed)
+            ++suppressed_in_header;
+        else
+            ++live_in_header;
+    }
+    EXPECT_EQ(live_in_header, 1);      // g_core_shared
+    EXPECT_EQ(suppressed_in_header, 1);  // g_core_suppressed
+}
+
+// ---------------------------------------------------------------------------
+// Pass-1 index and the schema stamp
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyIndex, TracksHeldLocksAtNestedAcquisitions)
+{
+    auto idx = proteus::lint::indexSource(
+        "src/core/nest.cc",
+        "#include <mutex>\n"
+        "namespace x {\n"
+        "std::mutex g_a;\n"
+        "std::mutex g_b;\n"
+        "void f() {\n"
+        "    std::lock_guard<std::mutex> la(g_a);\n"
+        "    std::lock_guard<std::mutex> lb(g_b);\n"
+        "}\n"
+        "}  // namespace x\n");
+    ASSERT_EQ(idx.mutexes.size(), 2u);
+    ASSERT_EQ(idx.locks.size(), 2u);
+    EXPECT_EQ(idx.locks[0].object, "g_a");
+    EXPECT_TRUE(idx.locks[0].held.empty());
+    EXPECT_EQ(idx.locks[1].object, "g_b");
+    ASSERT_EQ(idx.locks[1].held.size(), 1u);
+    EXPECT_EQ(idx.locks[1].held[0], "g_a");
+}
+
+TEST(ConcurrencyIndex, RecordsIncludesAndGuardAnnotations)
+{
+    auto idx = proteus::lint::indexSource(
+        "src/sweep/anno.cc",
+        "#include <mutex>\n"
+        "#include \"common/annotations.h\"\n"
+        "namespace x {\n"
+        "std::mutex g_mu;\n"
+        "int g_v PROTEUS_GUARDED_BY(g_mu) = 0;\n"
+        "}  // namespace x\n");
+    ASSERT_EQ(idx.includes.size(), 2u);
+    EXPECT_EQ(idx.includes[1], "common/annotations.h");
+    bool found = false;
+    for (const auto& v : idx.globals) {
+        if (v.name == "g_v") {
+            found = true;
+            EXPECT_TRUE(v.annotated);
+            EXPECT_EQ(v.guard, "g_mu");
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ConcurrencyJson, SchemaStampIsVersionTwo)
+{
+    const std::string json = proteus::lint::toJson({}, 0);
+    EXPECT_NE(json.find("\"schema\": 2"), std::string::npos);
+    EXPECT_EQ(json.find("\"version\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,13 @@
+// Fixture: pulled into the thread-reachable closure only by
+// c3_globals.cc's include — the C3 findings below anchor in this
+// header even though the reachability that causes them lives in the
+// sweep fixture. The second global shows that such a finding is
+// suppressed where it anchors, not where its cause is.
+
+namespace fx {
+
+int g_core_shared = 0;
+
+int g_core_suppressed = 0;  // NOLINT-PROTEUS(C3): planner-owned; workers only read it before spawn
+
+}  // namespace fx

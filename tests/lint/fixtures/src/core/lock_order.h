@@ -1,0 +1,22 @@
+// Fixture: shared declarations for the two-TU lock-order fixtures.
+// The member mutex ids (RouteTable::route_mu, PlanCache::plan_mu)
+// unify across translation units, which is what lets C2 see the
+// inversion spanning lock_order_a.cc and lock_order_b.cc.
+#include <mutex>
+
+namespace fx {
+
+struct RouteTable {
+    std::mutex route_mu;
+    int entries = 0;
+};
+
+struct PlanCache {
+    std::mutex plan_mu;
+    int plans = 0;
+};
+
+extern RouteTable g_routes;
+extern PlanCache g_plans;
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// Fixture: acquires the route table before the plan cache;
+// lock_order_b.cc acquires the opposite way. Each TU on its own is
+// consistent — only the merged cross-file graph has the cycle.
+#include <mutex>
+
+#include "core/lock_order.h"
+
+namespace fx {
+
+RouteTable g_routes;
+PlanCache g_plans;
+
+void
+refreshRoutes()
+{
+    std::lock_guard<std::mutex> routes(g_routes.route_mu);
+    std::lock_guard<std::mutex> plans(g_plans.plan_mu);
+    g_routes.entries += g_plans.plans;
+}
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// Fixture: the second half of the cross-TU lock-order inversion —
+// plan cache first, route table second (see lock_order_a.cc).
+#include <mutex>
+
+#include "core/lock_order.h"
+
+namespace fx {
+
+void
+evictPlans()
+{
+    std::lock_guard<std::mutex> plans(g_plans.plan_mu);
+    std::lock_guard<std::mutex> routes(g_routes.route_mu);
+    g_plans.plans -= g_routes.entries;
+}
+
+}  // namespace fx

@@ -1,0 +1,34 @@
+// Fixture: C1 fires on raw lock()/unlock() calls on objects the
+// index resolves to mutexes. The third call carries a multi-rule
+// suppression list with interior whitespace; weak_ptr::lock() must
+// stay inert because it never resolves to a mutex.
+#include <memory>
+#include <mutex>
+
+namespace fx {
+
+std::mutex g_c1_mu;
+
+void
+rawCalls()
+{
+    g_c1_mu.lock();
+    g_c1_mu.unlock();
+    g_c1_mu.lock();  // NOLINT-PROTEUS( C1 , C3 ): startup path, single-threaded by construction
+    g_c1_mu.unlock();  // NOLINT-PROTEUS(C1): pairs the suppressed lock above
+}
+
+void
+guarded()
+{
+    std::lock_guard<std::mutex> lock(g_c1_mu);
+}
+
+int
+notAMutex(const std::weak_ptr<int>& w)
+{
+    auto p = w.lock();
+    return p ? *p : 0;
+}
+
+}  // namespace fx

@@ -1,0 +1,31 @@
+// Fixture: C3 obligations in thread-reachable code. This file seeds
+// the closure (it lives under src/sweep/) and pulls in
+// core/c3_reachable.h, whose findings anchor in that header while
+// their cause — reachability — originates here. One global is
+// covered by a wildcard next-line suppression.
+#include <atomic>
+#include <mutex>
+
+#include "common/annotations.h"
+#include "core/c3_reachable.h"
+
+namespace fx {
+
+std::mutex g_c3_mu;
+
+int g_unguarded = 0;
+int g_guarded PROTEUS_GUARDED_BY(g_c3_mu) = 0;
+int g_bad_guard PROTEUS_GUARDED_BY(g_nonexistent_mu) = 0;
+std::atomic<int> g_atomic{0};
+const int kLimit = 8;
+// NOLINTNEXTLINE-PROTEUS(*): wildcard form covers the C3 below
+int g_wildcarded = 0;
+
+int
+bumpStatic()
+{
+    static int calls = 0;
+    return ++calls;
+}
+
+}  // namespace fx

@@ -14,6 +14,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -305,31 +306,44 @@ TEST(LintSuppressions, NextLineFormDoesNotCoverItsOwnLine)
 // JSON schema: golden output and parseability
 // ---------------------------------------------------------------------------
 
+// Kept in the full-path sort order collectFiles() produces, so the
+// golden test feeds analyzeSources() the same sequence the CLI does.
 const char* const kFixtureFiles[] = {
     "bench/d4_allowed.cc",
     "src/common/d3_accumulate.cc",
     "src/common/s1_casts.cc",
     "src/common/s2_todo.cc",
     "src/common/s3_suppressions.cc",
+    "src/core/c3_reachable.h",
     "src/core/d2_clock.cc",
     "src/core/d4_output.cc",
+    "src/core/lock_order.h",
+    "src/core/lock_order_a.cc",
+    "src/core/lock_order_b.cc",
     "src/pipeline/d1_d2_planner.cc",
     "src/pipeline/stage_router_hot.cc",
     "src/sim/a1_alloc.cc",
     "src/sim/d1_unordered.cc",
+    "src/sweep/c1_raw_lock.cc",
+    "src/sweep/c3_globals.cc",
     "src/sweep/d2_scope.cc",
     "src/sweep/sweep_clock.h",
 };
 
 TEST(LintJson, GoldenOutputIsByteIdentical)
 {
-    std::vector<Finding> all;
+    // Cross-file rules make the golden a whole-corpus property: run
+    // the same two-pass driver the CLI runs, over the same file list.
+    std::vector<std::pair<std::string, std::string>> sources;
     for (const char* rel : kFixtureFiles) {
-        for (Finding& f : lintFixture(rel))
-            all.push_back(std::move(f));
+        const std::string abs =
+            std::string(LINT_FIXTURE_DIR) + "/" + rel;
+        sources.emplace_back("tests/lint/fixtures/" + std::string(rel),
+                             readFile(abs));
     }
+    const auto analysis = proteus::lint::analyzeSources(sources);
     const std::string got =
-        proteus::lint::toJson(all, std::size(kFixtureFiles));
+        proteus::lint::toJson(analysis.findings, sources.size());
     const std::string want = readFile(LINT_GOLDEN_FILE);
     EXPECT_EQ(got, want)
         << "regenerate with: build/tools/lint/proteus_lint --json "
@@ -342,8 +356,9 @@ TEST(LintJson, SchemaParsesAndCountsAreConsistent)
     proteus::JsonValue v;
     std::string err;
     ASSERT_TRUE(proteus::parseJson(text, &v, &err)) << err;
-    EXPECT_EQ(v.at("version").asNumber(), 1.0);
-    EXPECT_EQ(v.at("files_scanned").asNumber(), 13.0);
+    EXPECT_EQ(v.at("schema").asNumber(), 2.0);
+    EXPECT_EQ(v.at("files_scanned").asNumber(),
+              static_cast<double>(std::size(kFixtureFiles)));
 
     const auto& findings = v.at("findings").asArray();
     const auto& counts = v.at("counts");

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deliberately-racy fixture proving the ThreadSanitizer gate fires.
+ *
+ * Two threads increment a plain int with no synchronization — a
+ * textbook data race. The ctest entry (tsan_detects_injected_race) is
+ * registered only when PROTEUS_SANITIZE matches "thread" and carries
+ * WILL_FAIL: tsan reports the race and exits nonzero, and if it ever
+ * stops doing so the gate itself is broken. The binary is NOT part of
+ * plain builds, so the race never runs unsanitized.
+ */
+
+#include <thread>
+
+namespace {
+
+constexpr int kItersPerThread = 100000;
+
+int g_counter = 0;  // intentionally not atomic, not guarded
+
+void
+bump()
+{
+    for (int i = 0; i < kItersPerThread; ++i)
+        ++g_counter;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::thread a(bump);
+    std::thread b(bump);
+    a.join();
+    b.join();
+    // Exit 0 regardless of the torn count: the only failure signal we
+    // want is tsan's own nonzero exit, so WILL_FAIL tests exactly the
+    // sanitizer and not the scheduler.
+    return 0;
+}

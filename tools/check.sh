@@ -1,22 +1,60 @@
 #!/usr/bin/env bash
-# Tier-1 verification and static-analysis gates.
-#
-#   tools/check.sh          # all passes: plain, asan, lint, strict
-#   tools/check.sh plain    # build + ctest
-#   tools/check.sh asan     # build + ctest under ASan+UBSan
-#   tools/check.sh lint     # proteus_lint + clang-tidy (if installed)
-#   tools/check.sh strict   # -Wshadow -Wconversion -Wextra-semi -Werror
+# Tier-1 verification and static-analysis gates, one mode per pass.
+# Run `tools/check.sh --help` for the mode table; `all` is the default
+# pre-push bundle (lint, plain, strict, asan). The sanitizer and
+# thread-safety passes (tsan, tsa) are requested explicitly — CI runs
+# them on every push, locally they cost a full extra build each.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+# When ccache is installed (CI caches its dir across runs), route every
+# compile through it: the lint/strict/tsan passes rebuild the whole
+# tree from scratch and hit the cache on unchanged files.
+launcher_args=()
+cxx=(c++)
+if command -v ccache > /dev/null 2>&1; then
+    launcher_args=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+    cxx=(ccache c++)
+fi
+
+usage() {
+    cat <<'EOF'
+usage: tools/check.sh [MODE]
+
+modes:
+  all     lint + plain + strict + asan (the default)
+  plain   build + ctest + the obs/alloc/sweep/pipeline smokes
+  asan    build + ctest under ASan+UBSan (build-asan/)
+  tsan    build + `ctest -L threads` under ThreadSanitizer, then the
+          4-thread sweep smoke, in build-tsan/ (PROTEUS_SANITIZE=thread;
+          includes the WILL_FAIL racy-counter fixture proving the
+          sanitizer fires)
+  tsa     clang -Wthread-safety (as errors) build in build-tsa/
+          (PROTEUS_THREAD_SAFETY=ON; requires clang++)
+  lint    proteus_lint over the tree + clang-tidy (if installed)
+  strict  -Wshadow -Wconversion -Wextra-semi -Werror build (build-strict/)
+  obs     observability smoke only (trace + report + bench_diff)
+  sweep   parallel sweep smoke only (4-thread vs 1-thread + --stats gate)
+  --help  this table
+
+Modes that need tier-1 binaries (plain, obs, sweep) build into build/.
+EOF
+}
+
 mode="${1:-all}"
 
 case "${mode}" in
-    all|plain|asan|lint|strict) ;;
+    -h|--help|help)
+        usage
+        exit 0
+        ;;
+    all|plain|asan|tsan|tsa|lint|strict|obs|sweep) ;;
     *)
-        echo "usage: tools/check.sh [all|plain|asan|lint|strict]" >&2
+        echo "tools/check.sh: unknown mode '${mode}'" >&2
+        usage >&2
         exit 2
         ;;
 esac
@@ -25,11 +63,19 @@ run_pass() {
     local name="$1" dir="$2"
     shift 2
     echo "=== ${name}: configure ==="
-    cmake -B "${dir}" -S . "$@"
+    cmake -B "${dir}" -S . "${launcher_args[@]}" "$@"
     echo "=== ${name}: build ==="
     cmake --build "${dir}" -j "${jobs}"
     echo "=== ${name}: ctest ==="
     ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+build_plain() {
+    # obs/sweep smokes reuse the plain tree's binaries; build them
+    # without rerunning ctest when the smoke is the requested mode.
+    echo "=== plain: configure + build (for smokes) ==="
+    cmake -B build -S . "${launcher_args[@]}"
+    cmake --build build -j "${jobs}"
 }
 
 trace_smoke() {
@@ -108,8 +154,9 @@ lint_pass() {
     # lint gate must work on machines without GTest/benchmark.
     echo "=== lint: build proteus_lint ==="
     mkdir -p build-lint
-    c++ -std=c++20 -O2 -Wall -Wextra \
-        tools/lint/lint.cc tools/lint/proteus_lint.cc \
+    "${cxx[@]}" -std=c++20 -O2 -Wall -Wextra \
+        tools/lint/lint.cc tools/lint/index.cc \
+        tools/lint/concurrency.cc tools/lint/proteus_lint.cc \
         -o build-lint/proteus_lint
     echo "=== lint: proteus_lint (src bench tools tests) ==="
     build-lint/proteus_lint
@@ -128,10 +175,48 @@ strict_pass() {
     # the raised baseline; plain/asan passes already run the tests.
     run_strict_dir=build-strict
     echo "=== strict: configure (PROTEUS_STRICT_WARNINGS + -Werror) ==="
-    cmake -B "${run_strict_dir}" -S . \
+    cmake -B "${run_strict_dir}" -S . "${launcher_args[@]}" \
         -DPROTEUS_STRICT_WARNINGS=ON -DPROTEUS_WERROR=ON
     echo "=== strict: build ==="
     cmake --build "${run_strict_dir}" -j "${jobs}"
+}
+
+tsan_pass() {
+    # ThreadSanitizer over the threaded suites (labeled "threads" in
+    # tests/CMakeLists.txt: the seed-sweep harness users plus the sweep
+    # runner) and the deliberately-racy WILL_FAIL fixture, then the
+    # 4-thread sweep smoke under instrumentation. Full per-test ctest
+    # under tsan would multiply process spawns for suites that never
+    # touch a thread; -L threads spends the sanitizer budget where the
+    # races could be.
+    echo "=== tsan: configure (PROTEUS_SANITIZE=thread) ==="
+    cmake -B build-tsan -S . "${launcher_args[@]}" \
+        -DPROTEUS_SANITIZE=thread
+    echo "=== tsan: build ==="
+    cmake --build build-tsan -j "${jobs}"
+    echo "=== tsan: ctest -L threads ==="
+    ctest --test-dir build-tsan --output-on-failure -L threads
+    echo "=== tsan: 4-thread sweep smoke ==="
+    "build-tsan/tools/proteus_sweep" config/sweep_smoke.json \
+        --threads 4 --out "build-tsan/sweep_store.jsonl" --quiet
+    echo "tsan pass OK"
+}
+
+tsa_pass() {
+    # Clang thread-safety analysis over the PROTEUS_GUARDED_BY /
+    # PROTEUS_REQUIRES annotations (src/common/annotations.h). The
+    # attributes are no-ops under gcc, so this build must use clang.
+    if ! command -v clang++ > /dev/null 2>&1; then
+        echo "tools/check.sh tsa: clang++ not found; the thread-safety" >&2
+        echo "attributes only fire under clang (CI runs this pass)." >&2
+        exit 2
+    fi
+    echo "=== tsa: configure (clang + PROTEUS_THREAD_SAFETY) ==="
+    cmake -B build-tsa -S . "${launcher_args[@]}" \
+        -DCMAKE_CXX_COMPILER=clang++ -DPROTEUS_THREAD_SAFETY=ON
+    echo "=== tsa: build ==="
+    cmake --build build-tsa -j "${jobs}"
+    echo "tsa pass OK"
 }
 
 if [[ "${mode}" == "all" || "${mode}" == "lint" ]]; then
@@ -146,6 +231,16 @@ if [[ "${mode}" == "all" || "${mode}" == "plain" ]]; then
     pipeline_smoke build
 fi
 
+if [[ "${mode}" == "obs" ]]; then
+    build_plain
+    trace_smoke build
+fi
+
+if [[ "${mode}" == "sweep" ]]; then
+    build_plain
+    sweep_smoke build
+fi
+
 if [[ "${mode}" == "all" || "${mode}" == "strict" ]]; then
     strict_pass
 fi
@@ -153,6 +248,14 @@ fi
 if [[ "${mode}" == "all" || "${mode}" == "asan" ]]; then
     run_pass "asan+ubsan" build-asan \
         -DPROTEUS_SANITIZE=address,undefined
+fi
+
+if [[ "${mode}" == "tsan" ]]; then
+    tsan_pass
+fi
+
+if [[ "${mode}" == "tsa" ]]; then
+    tsa_pass
 fi
 
 echo "=== all requested passes OK ==="

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Pass 2 of the cross-file analysis: the concurrency rules C1..C3,
+ * run over the merged per-TU indexes from pass 1.
+ *
+ * Mutex identity. Every mutex declaration gets a qualified id:
+ *   - class member:     "Class::name" — unified across TUs, which is
+ *     what lets a lock-order cycle span translation units;
+ *   - namespace scope:  "path::name" — internal linkage is assumed,
+ *     so same-named file-local mutexes in different TUs stay
+ *     distinct; an extern declaration in a header unifies through
+ *     name resolution (same-file first, then unique-across-tree);
+ *   - function local:   "path::function::name".
+ *
+ * Resolution of a lock site's object name tries, in order: a local
+ * mutex of the same function, a member of the site's owning class, a
+ * namespace-scope mutex (same file first, then unique across the
+ * tree), and finally a uniquely-named member of any class. Unresolved
+ * objects (weak_ptr.lock(), locks reached through calls) are ignored
+ * — C1 deliberately fires only on objects the index can prove are
+ * mutexes, so it never misfires on unrelated .lock() methods.
+ *
+ * C3's thread-reachability closure: files under src/sweep/ seed the
+ * set; #include edges (suffix-matched against the indexed paths) and
+ * header-to-source stem pairing (a reachable foo.h pulls in foo.cc,
+ * whose definitions run on the worker threads) extend it to a fixed
+ * point. Obligations apply to src/ files only — tests and tools in
+ * the closure are exercised single-threaded or own their threads.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.h"
+#include "scan.h"
+
+namespace proteus::lint {
+
+namespace {
+
+using detail::endsWith;
+using detail::pathHas;
+
+/** The annotated wrapper itself — the one sanctioned raw-lock site. */
+bool
+isSyncShim(const std::string& path)
+{
+    return endsWith(path, "src/common/sync.h") ||
+           path == "common/sync.h" || path == "sync.h";
+}
+
+std::string
+localKey(const std::string& path, const std::string& function,
+         const std::string& name)
+{
+    return path + "::" + function + "::" + name;
+}
+
+/** All mutex declarations across the tree, keyed for resolution. */
+struct MutexTable {
+    /** name -> [(path, qid)] for namespace-scope mutexes. */
+    std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+        globals;
+    /** (class, name) -> qid for member mutexes. */
+    std::map<std::pair<std::string, std::string>, std::string> members;
+    /** member name -> qids (for unique-across-classes fallback). */
+    std::map<std::string, std::vector<std::string>> member_by_name;
+    /** path::function::name keys of function-local mutexes. */
+    std::set<std::string> locals;
+    /** qid -> short display name for messages. */
+    std::map<std::string, std::string> display;
+    /** every declared mutex name (lenient annotation fallback). */
+    std::set<std::string> any_name;
+
+    void
+    build(const std::vector<FileIndex>& indexes)
+    {
+        for (const FileIndex& idx : indexes) {
+            for (const MutexDecl& m : idx.mutexes) {
+                any_name.insert(m.name);
+                if (!m.scope_class.empty()) {
+                    const std::string qid = m.scope_class + "::" + m.name;
+                    members[{m.scope_class, m.name}] = qid;
+                    member_by_name[m.name].push_back(qid);
+                    display[qid] = qid;
+                } else if (!m.function.empty()) {
+                    const std::string qid =
+                        localKey(idx.path, m.function, m.name);
+                    locals.insert(qid);
+                    display[qid] = m.name + " (in " + m.function + ")";
+                } else {
+                    const std::string qid = idx.path + "::" + m.name;
+                    globals[m.name].emplace_back(idx.path, qid);
+                    display[qid] = m.name;
+                }
+            }
+        }
+        for (auto& [name, qids] : member_by_name) {
+            std::sort(qids.begin(), qids.end());
+            qids.erase(std::unique(qids.begin(), qids.end()),
+                       qids.end());
+        }
+    }
+
+    /** @return the qid of @p object at @p site, or "" if unresolved. */
+    std::string
+    resolve(const std::string& path, const LockSite& site,
+            const std::string& object) const
+    {
+        const std::string local = localKey(path, site.function, object);
+        if (locals.count(local))
+            return local;
+        if (!site.owner_class.empty()) {
+            auto it = members.find({site.owner_class, object});
+            if (it != members.end())
+                return it->second;
+        }
+        auto git = globals.find(object);
+        if (git != globals.end()) {
+            for (const auto& [p, qid] : git->second) {
+                if (p == path)
+                    return qid;
+            }
+            if (git->second.size() == 1)
+                return git->second.front().second;
+        }
+        auto mit = member_by_name.find(object);
+        if (mit != member_by_name.end() && mit->second.size() == 1)
+            return mit->second.front();
+        return "";
+    }
+
+    /** Lenient check for annotation guards: does any mutex (global,
+     *  member of @p cls, or — as a fallback — any declaration at all)
+     *  answer to @p guard? */
+    bool
+    guardResolves(const std::string& guard,
+                  const std::string& cls) const
+    {
+        if (guard.empty())
+            return false;
+        if (!cls.empty() && members.count({cls, guard}))
+            return true;
+        if (globals.count(guard))
+            return true;
+        return any_name.count(guard) != 0;
+    }
+};
+
+struct SiteRef {
+    std::string file;
+    int line = 0;
+    int col = 0;
+
+    bool
+    operator<(const SiteRef& o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        return col < o.col;
+    }
+};
+
+Finding
+makeFinding(const std::string& file, int line, int col, const char* rule,
+            std::string message)
+{
+    Finding f;
+    f.file = file;
+    f.line = line;
+    f.col = col;
+    f.rule = rule;
+    f.message = std::move(message);
+    return f;
+}
+
+// ---------------------------------------------------------------------------
+// C1: raw lock/unlock calls
+// ---------------------------------------------------------------------------
+
+void
+checkRawLocks(const std::vector<FileIndex>& indexes,
+              const MutexTable& table, std::vector<Finding>* findings)
+{
+    for (const FileIndex& idx : indexes) {
+        if (isSyncShim(idx.path))
+            continue;
+        for (const LockSite& s : idx.locks) {
+            if (!s.raw)
+                continue;
+            if (table.resolve(idx.path, s, s.object).empty())
+                continue;
+            const char* call = s.unlock ? "unlock" : "lock";
+            findings->push_back(makeFinding(
+                idx.path, s.line, s.col, "C1",
+                "raw '" + s.object + "." + call +
+                    "()' on a mutex; hold locks through a RAII guard "
+                    "(proteus::MutexLock, std::lock_guard, "
+                    "std::scoped_lock) so every exit path releases "
+                    "them — the only sanctioned raw-lock site is "
+                    "src/common/sync.h"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C2: lock-order inversions
+// ---------------------------------------------------------------------------
+
+void
+checkLockOrder(const std::vector<FileIndex>& indexes,
+               const MutexTable& table, std::vector<Finding>* findings)
+{
+    // held-before-acquired edges, with every site contributing one.
+    std::map<std::pair<std::string, std::string>, std::vector<SiteRef>>
+        edges;
+    for (const FileIndex& idx : indexes) {
+        for (const LockSite& s : idx.locks) {
+            if (s.unlock || s.held.empty())
+                continue;
+            const std::string to = table.resolve(idx.path, s, s.object);
+            if (to.empty())
+                continue;
+            for (const std::string& h : s.held) {
+                const std::string from = table.resolve(idx.path, s, h);
+                if (from.empty() || from == to)
+                    continue;
+                edges[{from, to}].push_back({idx.path, s.line, s.col});
+            }
+        }
+    }
+    for (auto& [edge, sites] : edges)
+        std::sort(sites.begin(), sites.end());
+
+    std::map<std::string, std::set<std::string>> adj;
+    for (const auto& [edge, sites] : edges)
+        adj[edge.first].insert(edge.second);
+
+    // An edge u->v is part of a cycle iff v reaches u. Report each
+    // such edge once, anchored at its first acquisition site, citing
+    // the first site of the returning path's first hop as the
+    // conflicting order's witness.
+    for (const auto& [edge, sites] : edges) {
+        const std::string& u = edge.first;
+        const std::string& v = edge.second;
+        // BFS from v towards u, remembering parents for the witness.
+        std::map<std::string, std::string> parent;
+        std::vector<std::string> queue{v};
+        parent[v] = "";
+        bool found = false;
+        for (std::size_t qi = 0; qi < queue.size() && !found; ++qi) {
+            auto ait = adj.find(queue[qi]);
+            if (ait == adj.end())
+                continue;
+            for (const std::string& next : ait->second) {
+                if (parent.count(next))
+                    continue;
+                parent[next] = queue[qi];
+                if (next == u) {
+                    found = true;
+                    break;
+                }
+                queue.push_back(next);
+            }
+        }
+        if (!found)
+            continue;
+        // Walk back from u to v; the last parent step leaving v is
+        // the returning path's first hop.
+        std::string hop = u;
+        while (parent[hop] != v)
+            hop = parent[hop];
+        const SiteRef& witness = edges.at({v, hop}).front();
+        const SiteRef& site = sites.front();
+        findings->push_back(makeFinding(
+            site.file, site.line, site.col, "C2",
+            "lock-order inversion (deadlock risk): '" +
+                table.display.at(v) + "' is acquired while '" +
+                table.display.at(u) +
+                "' is held, but the opposite order occurs at " +
+                witness.file + ":" + std::to_string(witness.line) +
+                "; pick one global acquisition order"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C3: unguarded shared state in thread-reachable code
+// ---------------------------------------------------------------------------
+
+/** @return the indexed paths reachable from src/sweep/ (see @file). */
+std::set<std::string>
+threadReachable(const std::vector<FileIndex>& indexes)
+{
+    std::set<std::string> all;
+    for (const FileIndex& idx : indexes)
+        all.insert(idx.path);
+
+    std::map<std::string, std::vector<std::string>> includes_of;
+    for (const FileIndex& idx : indexes)
+        includes_of[idx.path] = idx.includes;
+
+    auto matches = [&](const std::string& inc) {
+        std::vector<std::string> out;
+        for (const std::string& p : all) {
+            if (p == inc || endsWith(p, "/" + inc))
+                out.push_back(p);
+        }
+        return out;
+    };
+    auto stemPair = [&](const std::string& p) {
+        std::vector<std::string> out;
+        for (const char* h : {".h", ".hpp"}) {
+            if (!endsWith(p, h))
+                continue;
+            const std::string stem =
+                p.substr(0, p.size() - std::string(h).size());
+            for (const char* s : {".cc", ".cpp"}) {
+                if (all.count(stem + s))
+                    out.push_back(stem + s);
+            }
+        }
+        return out;
+    };
+
+    std::set<std::string> reach;
+    std::vector<std::string> queue;
+    for (const std::string& p : all) {
+        if (pathHas(p, "src/sweep/")) {
+            reach.insert(p);
+            queue.push_back(p);
+        }
+    }
+    while (!queue.empty()) {
+        const std::string p = queue.back();
+        queue.pop_back();
+        std::vector<std::string> next;
+        for (const std::string& inc : includes_of[p]) {
+            for (const std::string& m : matches(inc))
+                next.push_back(m);
+        }
+        for (const std::string& m : stemPair(p))
+            next.push_back(m);
+        for (const std::string& m : next) {
+            if (reach.insert(m).second)
+                queue.push_back(m);
+        }
+    }
+    return reach;
+}
+
+void
+checkSharedState(const std::vector<FileIndex>& indexes,
+                 const MutexTable& table, std::vector<Finding>* findings)
+{
+    const std::set<std::string> reach = threadReachable(indexes);
+
+    for (const FileIndex& idx : indexes) {
+        if (!pathHas(idx.path, "src/"))
+            continue;
+        const bool reachable = reach.count(idx.path) != 0;
+
+        for (const VarDecl& v : idx.globals) {
+            if (v.is_const || v.is_atomic || v.is_mutex || v.is_extern ||
+                v.is_thread_local)
+                continue;
+            if (v.annotated) {
+                // Annotations are verified everywhere in src/, not
+                // just in reachable files — a guard that does not
+                // resolve is wrong wherever it appears.
+                if (!table.guardResolves(v.guard, "")) {
+                    findings->push_back(makeFinding(
+                        idx.path, v.line, v.col, "C3",
+                        "PROTEUS_GUARDED_BY on '" + v.name +
+                            "' names '" + v.guard +
+                            "', which does not resolve to any known "
+                            "mutex"));
+                }
+                continue;
+            }
+            if (!reachable)
+                continue;
+            const char* what = v.is_function_local
+                                   ? "non-const function-local static '"
+                                   : "non-const global '";
+            findings->push_back(makeFinding(
+                idx.path, v.line, v.col, "C3",
+                std::string(what) + v.name +
+                    "' in thread-reachable code (src/sweep include "
+                    "closure); make it std::atomic, const or "
+                    "thread_local, or guard it with a mutex and "
+                    "annotate PROTEUS_GUARDED_BY(<mutex>)"));
+        }
+
+        for (const AnnotatedMember& m : idx.annotated_members) {
+            if (table.guardResolves(m.guard, m.scope_class))
+                continue;
+            findings->push_back(makeFinding(
+                idx.path, m.line, m.col, "C3",
+                "PROTEUS_GUARDED_BY on member '" + m.scope_class +
+                    "::" + m.name + "' names '" + m.guard +
+                    "', which does not resolve to a mutex member of " +
+                    m.scope_class + " or a namespace-scope mutex"));
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<Finding>
+lintCrossFile(const std::vector<FileIndex>& indexes,
+              const LintOptions& options)
+{
+    MutexTable table;
+    table.build(indexes);
+
+    std::vector<Finding> findings;
+    if (options.enabled("C1"))
+        checkRawLocks(indexes, table, &findings);
+    if (options.enabled("C2"))
+        checkLockOrder(indexes, table, &findings);
+    if (options.enabled("C3"))
+        checkSharedState(indexes, table, &findings);
+
+    // Suppress at the anchor: the file a finding is reported in,
+    // which for cross-file rules can differ from its cause's file.
+    std::map<std::string, std::vector<Suppression>> sups;
+    for (const FileIndex& idx : indexes)
+        sups[idx.path] = idx.suppressions;
+    for (Finding& f : findings) {
+        auto it = sups.find(f.file);
+        if (it == sups.end())
+            continue;
+        std::vector<Finding> one;
+        one.push_back(std::move(f));
+        detail::applySuppressions(it->second, &one);
+        f = std::move(one.front());
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+}  // namespace proteus::lint

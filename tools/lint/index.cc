@@ -1,0 +1,835 @@
+/**
+ * @file
+ * Pass 1 of the cross-file analysis: build a FileIndex for one
+ * translation unit. The indexer is a brace/statement state machine
+ * over the token stream — it is NOT a C++ parser. It tracks just
+ * enough structure for the C rules:
+ *
+ *   - a scope stack (namespace / class / enum / function / block),
+ *     classified from the statement preceding each '{';
+ *   - namespace-scope variable declarations and function-local
+ *     statics, with const/atomic/mutex/thread_local qualifiers and
+ *     PROTEUS_GUARDED_BY annotations;
+ *   - mutex declarations (std::mutex family, proteus::Mutex) at
+ *     namespace, class-member and function-local scope;
+ *   - lock acquisitions: RAII guard declarations (MutexLock,
+ *     lock_guard, scoped_lock, unique_lock, shared_lock) and raw
+ *     .lock()/.unlock()/.try_lock() calls, each with the stack of
+ *     locks already held at the site (C2's ordering edges);
+ *   - #include operands, for C3's thread-reachability closure.
+ *
+ * Known simplifications, on purpose: preprocessor conditionals are
+ * taken at face value (every branch's tokens on non-directive lines
+ * are seen), brace-initializers are skipped inline, and a lock
+ * reached through a call expression (getMutex().lock()) does not
+ * resolve. Each is cheap to describe and none has false-positive
+ * cost on this tree.
+ */
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "scan.h"
+
+namespace proteus::lint {
+
+namespace {
+
+using detail::Comment;
+using detail::Scan;
+using detail::SuppressionScan;
+using detail::TokKind;
+using detail::Token;
+using detail::trim;
+
+// ---------------------------------------------------------------------------
+// Preprocessor lines
+// ---------------------------------------------------------------------------
+
+/**
+ * @return the set of 1-based line numbers occupied by preprocessor
+ * directives (including backslash continuations); also extracts
+ * #include operands into @p includes.
+ */
+std::set<int>
+preprocessorLines(const std::string& text,
+                  std::vector<std::string>* includes)
+{
+    std::set<int> pp;
+    int line = 1;
+    bool continued = false;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    while (i < n) {
+        std::size_t eol = text.find('\n', i);
+        if (eol == std::string::npos)
+            eol = n;
+        std::string raw = text.substr(i, eol - i);
+        const std::string body = trim(raw);
+        const bool directive = continued || (!body.empty() && body[0] == '#');
+        if (directive) {
+            pp.insert(line);
+            if (!continued && body.size() > 1) {
+                std::string rest = trim(body.substr(1));
+                if (rest.rfind("include", 0) == 0) {
+                    rest = trim(rest.substr(7));
+                    if (!rest.empty() &&
+                        (rest[0] == '"' || rest[0] == '<')) {
+                        const char close = rest[0] == '"' ? '"' : '>';
+                        const std::size_t end = rest.find(close, 1);
+                        if (end != std::string::npos)
+                            includes->push_back(rest.substr(1, end - 1));
+                    }
+                }
+            }
+            continued = !body.empty() && body.back() == '\\';
+        } else {
+            continued = false;
+        }
+        i = eol + 1;
+        ++line;
+    }
+    return pp;
+}
+
+// ---------------------------------------------------------------------------
+// Token classification helpers
+// ---------------------------------------------------------------------------
+
+bool
+isMutexType(const std::string& id)
+{
+    return id == "mutex" || id == "Mutex" || id == "shared_mutex" ||
+           id == "recursive_mutex" || id == "timed_mutex" ||
+           id == "recursive_timed_mutex" || id == "shared_timed_mutex";
+}
+
+bool
+isGuardType(const std::string& id)
+{
+    return id == "lock_guard" || id == "scoped_lock" ||
+           id == "unique_lock" || id == "shared_lock" ||
+           id == "MutexLock";
+}
+
+bool
+isGuardTag(const std::string& id)
+{
+    return id == "adopt_lock" || id == "defer_lock" ||
+           id == "try_to_lock" || id == "std";
+}
+
+bool
+isDeclKeyword(const std::string& id)
+{
+    return id == "using" || id == "typedef" || id == "friend" ||
+           id == "static_assert" || id == "return" || id == "if" ||
+           id == "for" || id == "while" || id == "switch" ||
+           id == "case" || id == "default" || id == "break" ||
+           id == "continue" || id == "goto" || id == "delete" ||
+           id == "throw" || id == "namespace" || id == "template" ||
+           id == "class" || id == "struct" || id == "union" ||
+           id == "enum" || id == "concept" || id == "requires";
+}
+
+bool
+isAnnotationMacro(const std::string& id)
+{
+    return id == "PROTEUS_GUARDED_BY" || id == "PROTEUS_PT_GUARDED_BY";
+}
+
+// ---------------------------------------------------------------------------
+// The scope state machine
+// ---------------------------------------------------------------------------
+
+enum class FrameKind { Namespace, Class, Enum, Function, Block };
+
+struct Frame {
+    FrameKind kind;
+    std::string name;       ///< class or namespace name, may be ""
+    std::string function;   ///< qualified name for Function frames
+    std::string owner;      ///< owning class of a Function frame
+};
+
+struct HeldLock {
+    std::string object;
+    std::size_t depth;  ///< frames.size() at acquisition
+};
+
+class Indexer
+{
+  public:
+    Indexer(const std::string& path, FileIndex* out) : out_(out)
+    {
+        (void)path;
+    }
+
+    void
+    run(const std::vector<Token>& toks)
+    {
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token& t = toks[i];
+            if (t.kind == TokKind::Punct && t.text == "{") {
+                if (skipInlineInitializer(toks, &i))
+                    continue;
+                openBrace();
+                continue;
+            }
+            if (t.kind == TokKind::Punct && t.text == "}") {
+                closeBrace();
+                continue;
+            }
+            if (t.kind == TokKind::Punct && t.text == ";") {
+                endStatement();
+                continue;
+            }
+            stmt_.push_back(t);
+        }
+    }
+
+  private:
+    FrameKind
+    innermost() const
+    {
+        return frames_.empty() ? FrameKind::Namespace
+                               : frames_.back().kind;
+    }
+
+    bool
+    inFunction() const
+    {
+        return innermost() == FrameKind::Function ||
+               innermost() == FrameKind::Block;
+    }
+
+    /** The nearest enclosing Function frame, or nullptr. */
+    const Frame*
+    enclosingFunction() const
+    {
+        for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+            if (it->kind == FrameKind::Function)
+                return &*it;
+        }
+        return nullptr;
+    }
+
+    /** The nearest enclosing Class frame's name, or "". */
+    std::string
+    enclosingClass() const
+    {
+        for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+            if (it->kind == FrameKind::Class)
+                return it->name;
+            if (it->kind == FrameKind::Function)
+                break;
+        }
+        return "";
+    }
+
+    /**
+     * A '{' that continues an expression (brace initializer, member
+     * init in a constructor's init list, designated init) rather than
+     * opening a scope: the previous significant token is an
+     * identifier, '=', ',', '(' or 'return'. Its tokens are folded
+     * into the current statement so declarations like
+     * 'std::atomic<int> g{0};' keep their name visible.
+     */
+    bool
+    skipInlineInitializer(const std::vector<Token>& toks, std::size_t* i)
+    {
+        if (stmt_.empty())
+            return false;
+        // A type/namespace definition header always opens a scope, no
+        // matter what precedes its '{'.
+        if (hasIdent("class") || hasIdent("struct") ||
+            hasIdent("union") || hasIdent("enum") ||
+            hasIdent("namespace") || hasIdent("extern"))
+            return false;
+        const Token& prev = stmt_.back();
+        const bool initish =
+            (prev.kind == TokKind::Ident && prev.text != "else" &&
+             prev.text != "do" && prev.text != "try" &&
+             prev.text != "noexcept" && prev.text != "const" &&
+             prev.text != "override" && prev.text != "final") ||
+            (prev.kind == TokKind::Punct &&
+             (prev.text == "=" || prev.text == "," || prev.text == "("));
+        if (!initish)
+            return false;
+        // Fold the initializer's tokens (braces included) into the
+        // statement so declarations like 'std::atomic<int> g{0};' and
+        // guard declarations 'MutexLock l{mu};' stay analyzable, and
+        // so a constructor body after brace member-initializers is
+        // preceded by '}' rather than an identifier.
+        int depth = 0;
+        std::size_t j = *i;
+        for (; j < toks.size(); ++j) {
+            stmt_.push_back(toks[j]);
+            if (toks[j].kind != TokKind::Punct)
+                continue;
+            if (toks[j].text == "{")
+                ++depth;
+            if (toks[j].text == "}") {
+                --depth;
+                if (depth == 0)
+                    break;
+            }
+        }
+        *i = j;
+        return true;
+    }
+
+    void
+    openBrace()
+    {
+        if (inFunction()) {
+            // Control-flow headers (if/while/for (...) {) can carry
+            // lock acquisitions in their condition.
+            detectLocks();
+            frames_.push_back({FrameKind::Block, "", "", ""});
+            stmt_.clear();
+            return;
+        }
+
+        stripTemplatePrefix();
+        Frame f{FrameKind::Block, "", "", ""};
+        if (hasIdent("namespace") || hasIdent("extern")) {
+            f.kind = FrameKind::Namespace;
+        } else if (hasIdent("enum")) {
+            f.kind = FrameKind::Enum;
+        } else if (hasIdent("class") || hasIdent("struct") ||
+                   hasIdent("union")) {
+            f.kind = FrameKind::Class;
+            f.name = classNameFromStmt();
+        } else if (firstTopLevelParen() != stmt_.size()) {
+            f.kind = FrameKind::Function;
+            functionNameFromStmt(&f);
+        } else {
+            // Unrecognized brace at namespace scope (array init that
+            // slipped past the inline check, ...): treat as a block so
+            // nesting stays balanced.
+            f.kind = FrameKind::Block;
+        }
+        frames_.push_back(f);
+        stmt_.clear();
+    }
+
+    void
+    closeBrace()
+    {
+        if (inFunction())
+            detectLocks();
+        if (!frames_.empty())
+            frames_.pop_back();
+        while (!held_.empty() && held_.back().depth > frames_.size())
+            held_.pop_back();
+        stmt_.clear();
+    }
+
+    void
+    endStatement()
+    {
+        const FrameKind scope = innermost();
+        if (scope == FrameKind::Namespace) {
+            extractDeclaration(/*member=*/false, /*local=*/false);
+        } else if (scope == FrameKind::Class) {
+            extractDeclaration(/*member=*/true, /*local=*/false);
+        } else if (scope == FrameKind::Function ||
+                   scope == FrameKind::Block) {
+            detectLocks();
+            extractDeclaration(/*member=*/false, /*local=*/true);
+        }
+        stmt_.clear();
+    }
+
+    /**
+     * Drop a leading 'template <...>' so 'template <class T> void
+     * f()' classifies as a function, not a class.
+     */
+    void
+    stripTemplatePrefix()
+    {
+        if (stmt_.empty() || stmt_[0].kind != TokKind::Ident ||
+            stmt_[0].text != "template")
+            return;
+        std::size_t j = 1;
+        if (j < stmt_.size() && stmt_[j].kind == TokKind::Punct &&
+            stmt_[j].text == "<") {
+            int depth = 0;
+            for (; j < stmt_.size(); ++j) {
+                if (stmt_[j].kind != TokKind::Punct)
+                    continue;
+                if (stmt_[j].text == "<")
+                    ++depth;
+                else if (stmt_[j].text == ">") {
+                    --depth;
+                    if (depth == 0) {
+                        ++j;
+                        break;
+                    }
+                }
+            }
+        }
+        stmt_.erase(stmt_.begin(),
+                    stmt_.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(j, stmt_.size())));
+    }
+
+    bool
+    hasIdent(const char* id) const
+    {
+        for (const Token& t : stmt_) {
+            if (t.kind == TokKind::Ident && t.text == id)
+                return true;
+        }
+        return false;
+    }
+
+    /** Index of the first paren at bracket depth 0, or stmt size. */
+    std::size_t
+    firstTopLevelParen() const
+    {
+        for (std::size_t i = 0; i < stmt_.size(); ++i) {
+            if (stmt_[i].kind == TokKind::Punct && stmt_[i].text == "(")
+                return i;
+        }
+        return stmt_.size();
+    }
+
+    /**
+     * Class name: the last identifier before the base-clause ':' (or
+     * the whole statement), skipping a trailing 'final'. Attribute
+     * macros with string arguments (class PROTEUS_CAPABILITY("m") X)
+     * contribute no identifier after the macro name, so the last
+     * identifier is the class name.
+     */
+    std::string
+    classNameFromStmt() const
+    {
+        std::string name;
+        for (const Token& t : stmt_) {
+            if (t.kind == TokKind::Punct && t.text == ":")
+                break;
+            if (t.kind == TokKind::Ident && t.text != "final" &&
+                t.text != "class" && t.text != "struct" &&
+                t.text != "union" && t.text != "alignas")
+                name = t.text;
+        }
+        return name;
+    }
+
+    /**
+     * Function name and owning class from the definition header: the
+     * identifier before the first '(' names the function; a 'X::name'
+     * qualifier (or the lexically enclosing class) names the owner.
+     */
+    void
+    functionNameFromStmt(Frame* f) const
+    {
+        const std::size_t paren = firstTopLevelParen();
+        std::size_t name_at = stmt_.size();
+        for (std::size_t i = paren; i-- > 0;) {
+            if (stmt_[i].kind == TokKind::Ident) {
+                name_at = i;
+                break;
+            }
+            if (stmt_[i].kind == TokKind::Punct && stmt_[i].text != "~")
+                break;
+        }
+        if (name_at == stmt_.size())
+            return;
+        f->name = stmt_[name_at].text;
+        f->owner = enclosingClass();
+        if (name_at >= 2 && stmt_[name_at - 1].kind == TokKind::Punct &&
+            stmt_[name_at - 1].text == "::" &&
+            stmt_[name_at - 2].kind == TokKind::Ident) {
+            f->owner = stmt_[name_at - 2].text;
+        }
+        f->function = f->owner.empty() ? f->name
+                                       : f->owner + "::" + f->name;
+    }
+
+    // -----------------------------------------------------------------
+    // Declarations
+    // -----------------------------------------------------------------
+
+    /**
+     * Extract a variable declaration from the finished statement.
+     * At namespace scope every variable is recorded; at class scope
+     * only mutex members and annotated members matter; inside
+     * functions only 'static' locals and local mutex declarations.
+     */
+    void
+    extractDeclaration(bool member, bool local)
+    {
+        // Strip access-specifier prefixes ('public:') left in the
+        // statement buffer by class bodies, and skip labels.
+        std::size_t begin = 0;
+        while (begin + 1 < stmt_.size() &&
+               stmt_[begin].kind == TokKind::Ident &&
+               (stmt_[begin].text == "public" ||
+                stmt_[begin].text == "private" ||
+                stmt_[begin].text == "protected") &&
+               stmt_[begin + 1].kind == TokKind::Punct &&
+               stmt_[begin + 1].text == ":") {
+            begin += 2;
+        }
+        if (begin >= stmt_.size())
+            return;
+        const Token& first = stmt_[begin];
+        if (first.kind != TokKind::Ident || isDeclKeyword(first.text))
+            return;
+
+        // Find the declarator's end: annotation macro, initializer or
+        // array bound — whichever comes first.
+        std::size_t ann_at = stmt_.size();
+        std::size_t end = stmt_.size();
+        for (std::size_t i = begin; i < stmt_.size(); ++i) {
+            const Token& t = stmt_[i];
+            if (t.kind == TokKind::Ident && isAnnotationMacro(t.text)) {
+                ann_at = i;
+                end = std::min(end, i);
+                break;
+            }
+            if (t.kind == TokKind::Punct &&
+                (t.text == "=" || t.text == "{" || t.text == "[")) {
+                end = i;
+                break;
+            }
+        }
+
+        // A top-level '(' before the declarator end is either a
+        // function declaration (skip) or a function-pointer
+        // declarator '(*name)'.
+        std::size_t name_at = stmt_.size();
+        std::size_t paren = end;
+        for (std::size_t i = begin; i < end; ++i) {
+            if (stmt_[i].kind == TokKind::Punct && stmt_[i].text == "(") {
+                paren = i;
+                break;
+            }
+        }
+        if (paren != end) {
+            std::size_t p = paren + 1;
+            bool pointer = false;
+            while (p < end && stmt_[p].kind == TokKind::Punct &&
+                   stmt_[p].text == "*") {
+                pointer = true;
+                ++p;
+            }
+            if (!pointer || p >= end ||
+                stmt_[p].kind != TokKind::Ident)
+                return;  // function declaration, not a variable
+            name_at = p;
+        } else {
+            for (std::size_t i = end; i-- > begin;) {
+                if (stmt_[i].kind == TokKind::Ident &&
+                    !isAnnotationMacro(stmt_[i].text)) {
+                    name_at = i;
+                    break;
+                }
+            }
+        }
+        if (name_at >= stmt_.size())
+            return;
+        const Token& name_tok = stmt_[name_at];
+
+        // Qualifiers over the type part.
+        bool is_static = false, is_extern = false, is_tls = false;
+        bool is_atomic = false, is_mutex = false;
+        std::size_t last_const = stmt_.size();
+        std::size_t last_star = stmt_.size();
+        for (std::size_t i = begin; i < name_at; ++i) {
+            const Token& t = stmt_[i];
+            if (t.kind == TokKind::Ident) {
+                if (t.text == "static")
+                    is_static = true;
+                else if (t.text == "extern")
+                    is_extern = true;
+                else if (t.text == "thread_local")
+                    is_tls = true;
+                else if (t.text == "atomic" || t.text == "atomic_flag")
+                    is_atomic = true;
+                else if (isMutexType(t.text))
+                    is_mutex = true;
+                else if (t.text == "const" || t.text == "constexpr" ||
+                         t.text == "constinit")
+                    last_const = i;
+            } else if (t.text == "*") {
+                last_star = i;
+            }
+        }
+        // const applies to the variable unless a '*' follows the last
+        // const (pointer-to-const with a mutable pointer).
+        const bool is_const =
+            last_const != stmt_.size() &&
+            (last_star == stmt_.size() || last_star < last_const);
+
+        std::string guard;
+        if (ann_at != stmt_.size()) {
+            for (std::size_t i = ann_at + 1; i < stmt_.size(); ++i) {
+                const Token& t = stmt_[i];
+                if (t.kind == TokKind::Punct && t.text == ")")
+                    break;
+                if (t.kind == TokKind::Ident && t.text != "this")
+                    guard = t.text;
+            }
+        }
+
+        if (local && is_mutex) {
+            const Frame* fn = enclosingFunction();
+            MutexDecl m;
+            m.name = name_tok.text;
+            m.function = fn ? fn->function : "";
+            m.line = name_tok.line;
+            m.col = name_tok.col;
+            out_->mutexes.push_back(std::move(m));
+            return;
+        }
+        if (local && !is_static)
+            return;  // plain local variable: thread-confined
+
+        if (member) {
+            if (is_mutex && !is_static) {
+                MutexDecl m;
+                m.name = name_tok.text;
+                m.scope_class = enclosingClass();
+                m.line = name_tok.line;
+                m.col = name_tok.col;
+                out_->mutexes.push_back(std::move(m));
+            } else if (ann_at != stmt_.size()) {
+                AnnotatedMember m;
+                m.name = name_tok.text;
+                m.guard = guard;
+                m.scope_class = enclosingClass();
+                m.line = name_tok.line;
+                m.col = name_tok.col;
+                out_->annotated_members.push_back(std::move(m));
+            }
+            // Static data members are shared state too, but their
+            // definitions appear at namespace scope and are indexed
+            // there.
+            return;
+        }
+
+        if (is_mutex) {
+            MutexDecl m;
+            m.name = name_tok.text;
+            m.line = name_tok.line;
+            m.col = name_tok.col;
+            out_->mutexes.push_back(std::move(m));
+        }
+        VarDecl v;
+        v.name = name_tok.text;
+        v.line = name_tok.line;
+        v.col = name_tok.col;
+        v.is_const = is_const;
+        v.is_atomic = is_atomic;
+        v.is_mutex = is_mutex;
+        v.is_extern = is_extern;
+        v.is_thread_local = is_tls;
+        v.is_function_local = local;
+        v.annotated = ann_at != stmt_.size();
+        v.guard = guard;
+        out_->globals.push_back(std::move(v));
+    }
+
+    // -----------------------------------------------------------------
+    // Lock sites
+    // -----------------------------------------------------------------
+
+    std::vector<std::string>
+    heldSnapshot() const
+    {
+        std::vector<std::string> held;
+        held.reserve(held_.size());
+        for (const HeldLock& h : held_)
+            held.push_back(h.object);
+        return held;
+    }
+
+    void
+    recordSite(const std::string& object, const Token& at, bool raw,
+               bool unlock)
+    {
+        const Frame* fn = enclosingFunction();
+        LockSite s;
+        s.object = object;
+        s.owner_class = fn ? fn->owner : enclosingClass();
+        s.function = fn ? fn->function : "";
+        s.raw = raw;
+        s.unlock = unlock;
+        s.line = at.line;
+        s.col = at.col;
+        s.held = heldSnapshot();
+        out_->locks.push_back(std::move(s));
+    }
+
+    void
+    acquire(const std::string& object)
+    {
+        held_.push_back({object, frames_.size()});
+    }
+
+    void
+    release(const std::string& object)
+    {
+        for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+            if (it->object == object) {
+                held_.erase(std::next(it).base());
+                return;
+            }
+        }
+    }
+
+    /** Scan the finished statement for guard declarations and raw
+     *  lock/unlock calls. */
+    void
+    detectLocks()
+    {
+        for (std::size_t i = 0; i < stmt_.size(); ++i) {
+            const Token& t = stmt_[i];
+            if (t.kind != TokKind::Ident)
+                continue;
+
+            if (isGuardType(t.text)) {
+                detectGuard(i);
+                continue;
+            }
+
+            const bool raw_call =
+                (t.text == "lock" || t.text == "unlock" ||
+                 t.text == "try_lock") &&
+                i > 0 && stmt_[i - 1].kind == TokKind::Punct &&
+                (stmt_[i - 1].text == "." || stmt_[i - 1].text == "->") &&
+                i + 1 < stmt_.size() &&
+                stmt_[i + 1].kind == TokKind::Punct &&
+                stmt_[i + 1].text == "(";
+            if (!raw_call)
+                continue;
+            std::string object;
+            if (i >= 2 && stmt_[i - 2].kind == TokKind::Ident)
+                object = stmt_[i - 2].text;
+            if (object.empty())
+                continue;  // lock via a call expression: unresolvable
+            const bool unlock = t.text == "unlock";
+            if (unlock) {
+                recordSite(object, t, /*raw=*/true, /*unlock=*/true);
+                release(object);
+            } else {
+                recordSite(object, t, /*raw=*/true, /*unlock=*/false);
+                acquire(object);
+            }
+        }
+    }
+
+    /**
+     * Parse a guard declaration starting at the guard type name:
+     * GuardType[<...>] var(mutex[, mutex...]); Each argument's mutex
+     * is taken as the last identifier of the argument expression.
+     */
+    void
+    detectGuard(std::size_t type_at)
+    {
+        std::size_t i = type_at + 1;
+        // Skip template arguments.
+        if (i < stmt_.size() && stmt_[i].kind == TokKind::Punct &&
+            stmt_[i].text == "<") {
+            int depth = 0;
+            for (; i < stmt_.size(); ++i) {
+                if (stmt_[i].kind != TokKind::Punct)
+                    continue;
+                if (stmt_[i].text == "<")
+                    ++depth;
+                else if (stmt_[i].text == ">") {
+                    --depth;
+                    if (depth == 0) {
+                        ++i;
+                        break;
+                    }
+                }
+            }
+        }
+        if (i >= stmt_.size() || stmt_[i].kind != TokKind::Ident)
+            return;  // not a declaration (e.g. a return type mention)
+        ++i;  // past the variable name
+        if (i >= stmt_.size() || stmt_[i].kind != TokKind::Punct ||
+            (stmt_[i].text != "(" && stmt_[i].text != "{"))
+            return;
+
+        const std::string open = stmt_[i].text;
+        const std::string close = open == "(" ? ")" : "}";
+        int depth = 0;
+        std::vector<std::string> args;
+        std::string current;
+        const Token* at = &stmt_[i];
+        for (; i < stmt_.size(); ++i) {
+            const Token& t = stmt_[i];
+            if (t.kind == TokKind::Punct) {
+                if (t.text == open) {
+                    if (++depth == 1)
+                        continue;
+                }
+                if (t.text == close) {
+                    if (--depth == 0)
+                        break;
+                }
+                if (t.text == "," && depth == 1) {
+                    if (!current.empty())
+                        args.push_back(current);
+                    current.clear();
+                    continue;
+                }
+                continue;
+            }
+            if (depth >= 1 && t.kind == TokKind::Ident &&
+                t.text != "this" && !isGuardTag(t.text))
+                current = t.text;
+        }
+        if (!current.empty())
+            args.push_back(current);
+
+        for (const std::string& mu : args) {
+            recordSite(mu, *at, /*raw=*/false, /*unlock=*/false);
+            acquire(mu);
+        }
+    }
+
+    FileIndex* out_;
+    std::vector<Frame> frames_;
+    std::vector<Token> stmt_;
+    std::vector<HeldLock> held_;
+};
+
+}  // namespace
+
+FileIndex
+indexSource(const std::string& path, const std::string& text)
+{
+    FileIndex out;
+    out.path = detail::normalizePath(path);
+
+    std::set<int> pp = preprocessorLines(text, &out.includes);
+
+    const Scan scan = detail::scanSource(text);
+    std::vector<Token> toks;
+    toks.reserve(scan.tokens.size());
+    for (const Token& t : scan.tokens) {
+        if (pp.count(t.line) == 0)
+            toks.push_back(t);
+    }
+
+    Indexer indexer(out.path, &out);
+    indexer.run(toks);
+
+    SuppressionScan sups;
+    for (const Comment& c : scan.comments)
+        detail::parseSuppressions(out.path, c, &sups);
+    out.suppressions = std::move(sups.suppressions);
+
+    return out;
+}
+
+}  // namespace proteus::lint

@@ -5,37 +5,17 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <set>
 #include <sstream>
 
-namespace proteus::lint {
+#include "scan.h"
 
-namespace {
+namespace proteus::lint::detail {
 
 // ---------------------------------------------------------------------------
 // Tokenizer
 // ---------------------------------------------------------------------------
 
-enum class TokKind { Ident, Number, Punct };
-
-struct Token {
-    TokKind kind;
-    std::string text;
-    int line;
-    int col;
-};
-
-/** A comment with the line span it occupies (block comments span). */
-struct Comment {
-    std::string text;
-    int line;
-    int end_line;
-};
-
-struct Scan {
-    std::vector<Token> tokens;
-    std::vector<Comment> comments;
-};
+namespace {
 
 bool
 isIdentChar(char c)
@@ -49,12 +29,8 @@ isIdentStart(char c)
     return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/**
- * Single-pass scanner. Strings, char literals and raw strings are
- * consumed without emitting tokens (rule matching must never fire on
- * literal text); comments are collected separately for suppression
- * parsing and the comment-based rules (S2, D3's det-order).
- */
+}  // namespace
+
 Scan
 scanSource(const std::string& text)
 {
@@ -233,19 +209,6 @@ scanSource(const std::string& text)
 // Suppressions
 // ---------------------------------------------------------------------------
 
-struct Suppression {
-    std::set<std::string> rules;  ///< empty when all == true
-    bool all = false;             ///< "*" form
-    std::string reason;
-    int applies_to_line = 0;  ///< line whose findings it covers
-    bool used = false;
-};
-
-struct SuppressionScan {
-    std::vector<Suppression> suppressions;
-    std::vector<Finding> malformed;  ///< S3 findings
-};
-
 std::string
 trim(const std::string& s)
 {
@@ -256,12 +219,6 @@ trim(const std::string& s)
     return s.substr(b, e - b + 1);
 }
 
-/**
- * Parse all suppression markers (same-line and next-line forms) in
- * one comment. Syntax: MARKER(rule[,rule...]): reason. Malformed
- * markers become S3 findings rather than silently suppressing
- * nothing.
- */
 void
 parseSuppressions(const std::string& path, const Comment& comment,
                   SuppressionScan* out)
@@ -373,6 +330,39 @@ parseSuppressions(const std::string& path, const Comment& comment,
     }
 }
 
+void
+applySuppressions(std::vector<Suppression>& sups,
+                  std::vector<Finding>* findings)
+{
+    for (Finding& f : *findings) {
+        if (f.suppressed)
+            continue;
+        for (Suppression& s : sups) {
+            if (s.applies_to_line != f.line)
+                continue;
+            if (!s.all && s.rules.count(f.rule) == 0)
+                continue;
+            f.suppressed = true;
+            f.suppress_reason = s.reason;
+            s.used = true;
+            break;
+        }
+    }
+}
+
+void
+sortFindings(std::vector<Finding>* findings)
+{
+    std::sort(findings->begin(), findings->end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  return a.rule < b.rule;
+              });
+}
+
 // ---------------------------------------------------------------------------
 // Path scoping
 // ---------------------------------------------------------------------------
@@ -396,6 +386,26 @@ endsWith(const std::string& s, const std::string& suffix)
 {
     return s.size() >= suffix.size() &&
            s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace proteus::lint::detail
+
+namespace proteus::lint {
+
+namespace {
+
+using detail::Comment;
+using detail::Scan;
+using detail::SuppressionScan;
+using detail::TokKind;
+using detail::Token;
+using detail::endsWith;
+using detail::pathHas;
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
 /** D1 scope: the deterministic decision path. */
@@ -775,6 +785,17 @@ ruleRegistry()
         {"S2", "no TODO/FIXME without an issue reference TODO(#N)"},
         {"S3", "every NOLINT-PROTEUS names known rules and carries a "
                "non-empty reason"},
+        {"C1", "no raw mutex .lock()/.unlock() calls; hold locks through "
+               "RAII guards (MutexLock, lock_guard, scoped_lock, "
+               "unique_lock) — the only sanctioned raw-lock site is "
+               "src/common/sync.h"},
+        {"C2", "globally consistent lock-acquisition order: a cycle in "
+               "the cross-TU held-before-acquired graph is a deadlock "
+               "risk"},
+        {"C3", "non-const globals/statics in thread-reachable code "
+               "(src/sweep + its include closure) must be std::atomic, "
+               "const, thread_local or PROTEUS_GUARDED_BY a resolvable "
+               "mutex"},
     };
     return kRules;
 }
@@ -790,14 +811,15 @@ isKnownRule(const std::string& id)
 }
 
 std::vector<Finding>
-lintSource(const std::string& path, const std::string& text)
+lintSource(const std::string& path, const std::string& text,
+           const LintOptions& options)
 {
-    const std::string norm = normalizePath(path);
-    const Scan scan = scanSource(text);
+    const std::string norm = detail::normalizePath(path);
+    const Scan scan = detail::scanSource(text);
 
     SuppressionScan sups;
     for (const Comment& c : scan.comments)
-        parseSuppressions(norm, c, &sups);
+        detail::parseSuppressions(norm, c, &sups);
 
     std::vector<Finding> findings;
     checkTokens(norm, scan, &findings);
@@ -805,27 +827,17 @@ lintSource(const std::string& path, const std::string& text)
     for (Finding& f : sups.malformed)
         findings.push_back(std::move(f));
 
-    for (Finding& f : findings) {
-        for (Suppression& s : sups.suppressions) {
-            if (s.applies_to_line != f.line)
-                continue;
-            if (!s.all && s.rules.count(f.rule) == 0)
-                continue;
-            f.suppressed = true;
-            f.suppress_reason = s.reason;
-            s.used = true;
-            break;
-        }
+    detail::applySuppressions(sups.suppressions, &findings);
+
+    if (!options.rules.empty()) {
+        findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                      [&](const Finding& f) {
+                                          return !options.enabled(f.rule);
+                                      }),
+                       findings.end());
     }
 
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding& a, const Finding& b) {
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  if (a.col != b.col)
-                      return a.col < b.col;
-                  return a.rule < b.rule;
-              });
+    detail::sortFindings(&findings);
     return findings;
 }
 
@@ -847,6 +859,78 @@ lintFile(const std::string& path)
     return lintSource(path, ss.str());
 }
 
+Analysis
+analyzeSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const LintOptions& options)
+{
+    Analysis out;
+    out.files_scanned = sources.size();
+
+    std::vector<FileIndex> indexes;
+    indexes.reserve(sources.size());
+    for (const auto& [path, text] : sources) {
+        std::vector<Finding> per_file = lintSource(path, text, options);
+        out.findings.insert(out.findings.end(),
+                            std::make_move_iterator(per_file.begin()),
+                            std::make_move_iterator(per_file.end()));
+        indexes.push_back(indexSource(path, text));
+    }
+
+    std::vector<Finding> cross = lintCrossFile(indexes, options);
+    out.findings.insert(out.findings.end(),
+                        std::make_move_iterator(cross.begin()),
+                        std::make_move_iterator(cross.end()));
+
+    std::sort(out.findings.begin(), out.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+    return out;
+}
+
+Analysis
+analyzeFiles(const std::vector<std::string>& files,
+             const LintOptions& options)
+{
+    std::vector<std::pair<std::string, std::string>> sources;
+    sources.reserve(files.size());
+    std::vector<Finding> io_errors;
+    for (const std::string& path : files) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            Finding f;
+            f.file = path;
+            f.line = 0;
+            f.col = 0;
+            f.rule = "IO";
+            f.message = "cannot open file";
+            io_errors.push_back(std::move(f));
+            continue;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        sources.emplace_back(path, ss.str());
+    }
+
+    Analysis out = analyzeSources(sources, options);
+    out.files_scanned = files.size();
+    if (!io_errors.empty()) {
+        out.findings.insert(out.findings.begin(),
+                            std::make_move_iterator(io_errors.begin()),
+                            std::make_move_iterator(io_errors.end()));
+    }
+    return out;
+}
+
 std::vector<std::string>
 collectFiles(const std::vector<std::string>& roots, bool skip_fixtures)
 {
@@ -860,7 +944,7 @@ collectFiles(const std::vector<std::string>& roots, bool skip_fixtures)
     for (const std::string& root : roots) {
         std::error_code ec;
         if (fs::is_regular_file(root, ec)) {
-            files.push_back(normalizePath(root));
+            files.push_back(detail::normalizePath(root));
             continue;
         }
         fs::recursive_directory_iterator it(root, ec);
@@ -870,7 +954,8 @@ collectFiles(const std::vector<std::string>& roots, bool skip_fixtures)
              fs::recursive_directory_iterator(root)) {
             if (!entry.is_regular_file() || !wanted(entry.path()))
                 continue;
-            std::string p = normalizePath(entry.path().generic_string());
+            std::string p =
+                detail::normalizePath(entry.path().generic_string());
             if (skip_fixtures && pathHas(p, "tests/lint/fixtures"))
                 continue;
             files.push_back(std::move(p));
@@ -890,7 +975,7 @@ toJson(const std::vector<Finding>& findings, std::size_t files_scanned)
 
     std::ostringstream out;
     out << "{\n";
-    out << "  \"version\": 1,\n";
+    out << "  \"schema\": 2,\n";
     out << "  \"files_scanned\": " << files_scanned << ",\n";
     out << "  \"counts\": {\"total\": " << findings.size()
         << ", \"suppressed\": " << suppressed

@@ -8,12 +8,17 @@
  *   proteus_lint path...          # scan explicit files/dirs (keeps
  *                                 # lint fixtures, used by the tests)
  *   proteus_lint --list-rules     # print the rule registry
+ *   proteus_lint --rule C1,C3     # run only the named rules
+ *
+ * The scan runs both passes: the per-file rules, then the cross-file
+ * concurrency rules over the merged symbol index of every input.
  *
  * Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
  */
 
 #include <filesystem>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,7 +30,8 @@ int
 usage()
 {
     std::cerr << "usage: proteus_lint [--json] [--show-suppressed] "
-                 "[--list-rules] [--root DIR] [path...]\n";
+                 "[--list-rules] [--rule ID[,ID...]] [--root DIR] "
+                 "[path...]\n";
     return 2;
 }
 
@@ -40,6 +46,7 @@ main(int argc, char** argv)
     bool show_suppressed = false;
     std::string root;
     std::vector<std::string> paths;
+    lint::LintOptions options;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -51,6 +58,23 @@ main(int argc, char** argv)
             for (const lint::RuleInfo& r : lint::ruleRegistry())
                 std::cout << r.id << "  " << r.summary << "\n";
             return 0;
+        } else if (arg == "--rule") {
+            if (++i >= argc)
+                return usage();
+            std::stringstream ss(argv[i]);
+            std::string id;
+            while (std::getline(ss, id, ',')) {
+                if (id.empty())
+                    continue;
+                if (!lint::isKnownRule(id)) {
+                    std::cerr << "proteus_lint: unknown rule '" << id
+                              << "' (see --list-rules)\n";
+                    return 2;
+                }
+                options.rules.insert(id);
+            }
+            if (options.rules.empty())
+                return usage();
         } else if (arg == "--root") {
             if (++i >= argc)
                 return usage();
@@ -76,18 +100,13 @@ main(int argc, char** argv)
         return 2;
     }
 
-    std::vector<lint::Finding> findings;
-    bool io_error = false;
-    for (const std::string& f : files) {
-        for (lint::Finding& fd : lint::lintFile(f)) {
-            io_error = io_error || fd.rule == "IO";
-            findings.push_back(std::move(fd));
-        }
-    }
+    const lint::Analysis analysis = lint::analyzeFiles(files, options);
 
+    bool io_error = false;
     std::size_t unsuppressed = 0;
     std::size_t suppressed = 0;
-    for (const lint::Finding& f : findings) {
+    for (const lint::Finding& f : analysis.findings) {
+        io_error = io_error || f.rule == "IO";
         if (f.suppressed)
             ++suppressed;
         else
@@ -95,14 +114,15 @@ main(int argc, char** argv)
     }
 
     if (json) {
-        std::cout << lint::toJson(findings, files.size());
+        std::cout << lint::toJson(analysis.findings,
+                                  analysis.files_scanned);
     } else {
-        for (const lint::Finding& f : findings) {
+        for (const lint::Finding& f : analysis.findings) {
             if (f.suppressed && !show_suppressed)
                 continue;
             std::cout << lint::formatHuman(f) << "\n";
         }
-        std::cout << "proteus_lint: scanned " << files.size()
+        std::cout << "proteus_lint: scanned " << analysis.files_scanned
                   << " files, " << unsuppressed
                   << " unsuppressed findings (" << suppressed
                   << " suppressed)\n";

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * proteus_lint internals shared between the per-file rule pass
+ * (lint.cc) and the cross-file index/concurrency pass (index.cc,
+ * concurrency.cc): the tokenizer, suppression parsing and path
+ * helpers. Not installed and not part of the public lint.h API —
+ * tests and the CLI go through lint.h.
+ */
+
+#ifndef PROTEUS_TOOLS_LINT_SCAN_H_
+#define PROTEUS_TOOLS_LINT_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace proteus::lint::detail {
+
+enum class TokKind { Ident, Number, Punct };
+
+struct Token {
+    TokKind kind;
+    std::string text;
+    int line;
+    int col;
+};
+
+/** A comment with the line span it occupies (block comments span). */
+struct Comment {
+    std::string text;
+    int line;
+    int end_line;
+};
+
+struct Scan {
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/**
+ * Single-pass scanner. Strings, char literals and raw strings are
+ * consumed without emitting tokens (rule matching must never fire on
+ * literal text); comments are collected separately for suppression
+ * parsing and the comment-based rules (S2, D3's det-order).
+ */
+Scan scanSource(const std::string& text);
+
+struct SuppressionScan {
+    std::vector<Suppression> suppressions;
+    std::vector<Finding> malformed;  ///< S3 findings
+};
+
+/**
+ * Parse all suppression markers (same-line and next-line forms) in
+ * one comment. Syntax: MARKER(rule[,rule...]): reason. Malformed
+ * markers become S3 findings rather than silently suppressing
+ * nothing.
+ */
+void parseSuppressions(const std::string& path, const Comment& comment,
+                       SuppressionScan* out);
+
+std::string trim(const std::string& s);
+
+std::string normalizePath(const std::string& path);
+
+bool pathHas(const std::string& path, const char* frag);
+
+bool endsWith(const std::string& s, const std::string& suffix);
+
+/**
+ * Mark a finding suppressed when one of @p sups covers its line and
+ * rule. @p sups must come from the same file the finding anchors in —
+ * cross-file rules are suppressed where the finding is *reported*,
+ * not where its cause lives.
+ */
+void applySuppressions(std::vector<Suppression>& sups,
+                       std::vector<Finding>* findings);
+
+/** Stable finding order: (line, col, rule) within one file. */
+void sortFindings(std::vector<Finding>* findings);
+
+}  // namespace proteus::lint::detail
+
+#endif  // PROTEUS_TOOLS_LINT_SCAN_H_
