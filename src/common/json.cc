@@ -1,6 +1,7 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -264,6 +265,50 @@ class Parser
         return true;
     }
 
+    /** Consume exactly four hex digits into @p out. */
+    bool
+    parseHex4(std::uint32_t* out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        *out = v;
+        return true;
+    }
+
+    /** Append code point @p cp to @p s as UTF-8. */
+    static void
+    appendUtf8(std::string* s, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            *s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            *s += static_cast<char>(0xC0 | (cp >> 6));
+            *s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            *s += static_cast<char>(0xE0 | (cp >> 12));
+            *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            *s += static_cast<char>(0xF0 | (cp >> 18));
+            *s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
     bool
     parseString(JsonValue* out)
     {
@@ -288,6 +333,33 @@ class Parser
                   case 'r': s += '\r'; break;
                   case 'b': s += '\b'; break;
                   case 'f': s += '\f'; break;
+                  case 'u': {
+                    std::uint32_t cp = 0;
+                    if (!parseHex4(&cp))
+                        return false;
+                    // Surrogate pair: a high surrogate must be
+                    // followed by \uDC00..\uDFFF; combine to the
+                    // supplementary code point.
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        if (pos_ + 1 >= text_.size() ||
+                            text_[pos_] != '\\' ||
+                            text_[pos_ + 1] != 'u') {
+                            return fail("unpaired high surrogate");
+                        }
+                        pos_ += 2;
+                        std::uint32_t lo = 0;
+                        if (!parseHex4(&lo))
+                            return false;
+                        if (lo < 0xDC00 || lo > 0xDFFF)
+                            return fail("invalid low surrogate");
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (lo - 0xDC00);
+                    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        return fail("unpaired low surrogate");
+                    }
+                    appendUtf8(&s, cp);
+                    break;
+                  }
                   default:
                     return fail("unsupported escape sequence");
                 }

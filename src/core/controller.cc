@@ -79,6 +79,8 @@ Controller::traceDecision(std::uint64_t decision, Time solved_at,
     apply.kind = obs::SpanKind::Apply;
     apply.start = apply.end = now;
     apply.id = decision;
+    apply.parent_id = decision;
+    apply.parent_kind = obs::SpanKind::Solve;
     apply.v0 = reallocations_;
     tracer_->record(apply);
 }
@@ -96,6 +98,7 @@ Controller::start(const std::vector<double>& initial_demand)
     const std::uint64_t decision = noteSolve(allocator_->lastSolveMeta());
     has_plan_ = true;
     ++reallocations_;
+    applied_decision_ = decision;
     apply_fn_(current_);
     traceDecision(decision, sim_->now(), allocator_->lastSolveMeta());
     last_start_ = sim_->now();
@@ -165,6 +168,7 @@ Controller::reallocate(bool initial)
         current_ = std::move(plan);
         has_plan_ = true;
         ++reallocations_;
+        applied_decision_ = decision;
         apply_fn_(current_);
         traceDecision(decision, solved_at, meta);
         return;
@@ -184,6 +188,7 @@ Controller::applyPendingPlan()
     current_ = std::move(pending_plan_);
     has_plan_ = true;
     ++reallocations_;
+    applied_decision_ = pending_decision_;
     apply_fn_(current_);
     traceDecision(pending_decision_, pending_solved_at_, pending_meta_);
     if (resolve_after_apply_) {

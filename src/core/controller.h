@@ -95,6 +95,13 @@ class Controller
     /** @return the number of re-allocations applied so far. */
     int reallocations() const { return reallocations_; }
 
+    /**
+     * @return the decision number of the most recently applied plan
+     * (0 before any apply). Read inside the apply callback to stamp
+     * workers with the epoch that governs them (lineage).
+     */
+    std::uint64_t appliedDecision() const { return applied_decision_; }
+
   private:
     void reallocate(bool initial);
 
@@ -132,6 +139,7 @@ class Controller
     bool resolve_after_apply_ = false;
     Time last_start_ = kNoTime;
     int reallocations_ = 0;
+    std::uint64_t applied_decision_ = 0;
 
     // Staging for the one decision that can be in flight (the MILP's
     // simulated decision delay). Members rather than closure captures

@@ -130,6 +130,8 @@ LoadBalancer::admit(Query* query, Time route_start, bool is_arrival)
         s.start = route_start;
         s.end = now;
         s.id = query->id;
+        s.parent_id = query->id;
+        s.parent_kind = obs::SpanKind::Query;
         s.a = family_;
         if (query->pipeline != kInvalidId)
             s.v0 = static_cast<std::int64_t>(query->stage) + 1;

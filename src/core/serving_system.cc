@@ -28,8 +28,9 @@ namespace {
 class ObsFanout : public QueryObserver
 {
   public:
-    ObsFanout(QueryObserver* primary, obs::SloMonitor* slo)
-        : primary_(primary), slo_(slo)
+    ObsFanout(QueryObserver* primary, obs::SloMonitor* slo,
+              obs::TailReservoir* tail)
+        : primary_(primary), slo_(slo), tail_(tail)
     {}
 
     void onArrival(const Query& query) override
@@ -41,12 +42,18 @@ class ObsFanout : public QueryObserver
     onFinished(const Query& query) override
     {
         primary_->onFinished(query);
-        slo_->onOutcome(query.family, query.violatedSlo());
+        const bool violated = query.violatedSlo();
+        slo_->onOutcome(query.family, violated);
+        // Sample the tail: by the time the fanout sees a pipeline
+        // query it is terminal and remapped to the entry family, so
+        // the reservoir holds end-to-end violators only.
+        tail_->offer(query.id, violated);
     }
 
   private:
     QueryObserver* primary_;
     obs::SloMonitor* slo_;
+    obs::TailReservoir* tail_;
 };
 
 /**
@@ -160,7 +167,10 @@ ServingSystem::ServingSystem(const Cluster* cluster,
     // simulated results are identical with observability on or off.
     observer_ = &metrics_;
     if (config_.obs.enabled) {
-        tracer_ = std::make_unique<obs::Tracer>(config_.obs.ring_capacity);
+        tracer_ = std::make_unique<obs::Tracer>(config_.obs.ring_capacity,
+                                                config_.obs.link_capacity);
+        tail_reservoir_ = std::make_unique<obs::TailReservoir>(
+            config_.obs.tail_exemplars, config_.seed);
         obs::SloMonitorOptions slo_opts;
         slo_opts.window = config_.obs.slo_window;
         slo_opts.buckets = config_.obs.slo_buckets;
@@ -171,8 +181,8 @@ ServingSystem::ServingSystem(const Cluster* cluster,
         slo_monitor_ = std::make_unique<obs::SloMonitor>(&sim_, slo_opts);
         slo_monitor_->setTracer(tracer_.get());
         slo_monitor_->setRegistry(&obs_registry_);
-        fanout_ =
-            std::make_unique<ObsFanout>(&metrics_, slo_monitor_.get());
+        fanout_ = std::make_unique<ObsFanout>(
+            &metrics_, slo_monitor_.get(), tail_reservoir_.get());
         observer_ = fanout_.get();
         obs::TimeSeriesOptions ts_opts;
         ts_opts.sample_interval = config_.obs.sample_interval;
@@ -196,6 +206,7 @@ ServingSystem::ServingSystem(const Cluster* cluster,
     if (!pipelines_.empty()) {
         stage_router_ =
             std::make_unique<StageRouter>(observer_, &pipelines_);
+        stage_router_->setTracer(tracer_.get());
         stage_router_->setForwarder(
             [](void* ctx, Query* q) {
                 static_cast<ServingSystem*>(ctx)->forwardQuery(q);
@@ -533,9 +544,16 @@ ServingSystem::applyPlan(const Allocation& plan)
         warn("[plan] est_now=", est, " planned_cap=", cap,
              " swaps=", swaps, " exp_acc=", plan.expected_accuracy);
     }
-    // Hosting changes first (loads start immediately) ...
-    for (DeviceId d = 0; d < workers_.size(); ++d)
+    // Hosting changes first (loads start immediately) ... Each worker
+    // is stamped with the decision number this plan came from, so the
+    // batches it executes (and the loads it starts) link back to the
+    // controller epoch that sized them.
+    const std::uint64_t epoch =
+        controller_ ? controller_->appliedDecision() : 0;
+    for (DeviceId d = 0; d < workers_.size(); ++d) {
+        workers_[d]->setPlanEpoch(epoch);
         workers_[d]->hostVariant(plan.hosting[d], first_apply_);
+    }
 
     // Decision boundary: everything staged for the previous epoch is
     // dead, so the frame arena resets wholesale and the share lists
@@ -723,6 +741,14 @@ ServingSystem::finishRun()
             ->set(tracer_ ? static_cast<double>(tracer_->recorded()) : 0.0);
         obs_registry_.gauge("trace.spans_dropped")
             ->set(tracer_ ? static_cast<double>(tracer_->dropped()) : 0.0);
+        obs_registry_.gauge("trace.links_recorded")
+            ->set(tracer_
+                      ? static_cast<double>(tracer_->linksRecorded())
+                      : 0.0);
+        obs_registry_.gauge("trace.links_dropped")
+            ->set(tracer_
+                      ? static_cast<double>(tracer_->linksDropped())
+                      : 0.0);
         // Allocation accounting: pool occupancy must be back to zero
         // (asserted above); capacity records the in-flight high-water
         // mark; heap_allocs is non-zero only when the counting
@@ -799,6 +825,8 @@ ServingSystem::traceNames() const
         }
         names.pipelines.push_back(std::move(p));
     }
+    if (tail_reservoir_)
+        names.tail_exemplars = tail_reservoir_->exemplars();
     return names;
 }
 

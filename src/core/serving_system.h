@@ -38,6 +38,7 @@
 #include "models/model.h"
 #include "models/profiler.h"
 #include "obs/exporter.h"
+#include "obs/lineage.h"
 #include "obs/metrics_registry.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/stage_router.h"
@@ -178,6 +179,12 @@ class ServingSystem
     /** @return the SLO monitor, or nullptr when observability is off. */
     obs::SloMonitor* sloMonitor() { return slo_monitor_.get(); }
 
+    /** @return the tail-exemplar reservoir (nullptr when obs is off). */
+    const obs::TailReservoir* tailReservoir() const
+    {
+        return tail_reservoir_.get();
+    }
+
   private:
     void applyPlan(const Allocation& plan);
     void injectArrivals();
@@ -201,6 +208,8 @@ class ServingSystem
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::TimeSeriesRecorder> timeseries_;
     std::unique_ptr<obs::SloMonitor> slo_monitor_;
+    /** Seeded reservoir of SLO-violating query ids (tail exemplars). */
+    std::unique_ptr<obs::TailReservoir> tail_reservoir_;
     /** Fan-out observer (metrics + SLO monitor) when obs is enabled. */
     std::unique_ptr<QueryObserver> fanout_;
     /** Recycles finished queries into the pool after the sinks ran. */

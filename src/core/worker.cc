@@ -126,6 +126,8 @@ Worker::hostVariant(std::optional<VariantId> variant, bool instant)
             s.start = load_start;
             s.end = sim_->now();
             s.id = load_epoch_;
+            s.parent_id = plan_epoch_;
+            s.parent_kind = obs::SpanKind::Apply;
             s.a = device_;
             s.b = *target_;
             tracer_->record(s);
@@ -199,6 +201,25 @@ Worker::enqueue(Query* query)
         return;
     }
     query->enqueued_at = sim_->now();
+    if (tracer_) {
+        // Queued-behind edge: the query this one waits on directly —
+        // the queue tail, or the in-flight batch tail when the queue
+        // is empty but the device is executing.
+        std::uint64_t ahead = 0;
+        if (!queue_.empty())
+            ahead = queue_.back()->id;
+        else if (busy_ && !inflight_.empty())
+            ahead = inflight_[inflight_.size() - 1]->id;
+        if (ahead != 0) {
+            obs::LinkRecord link;
+            link.kind = obs::LinkKind::QueuedBehind;
+            link.at = query->enqueued_at;
+            link.from = query->id;
+            link.to = ahead;
+            link.aux = device_;
+            tracer_->recordLink(link);
+        }
+    }
     queue_.push_back(query);
     if (!busy_ && !loading_)
         evaluate();
@@ -304,6 +325,7 @@ Worker::executeBatch(int count)
                    "batch beyond profiled range");
 
     const Time now = sim_->now();
+    const std::uint64_t batch_id = batches_ + 1;
     inflight_.clear();
     inflight_.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i) {
@@ -316,15 +338,25 @@ Worker::executeBatch(int count)
             s.start = q->enqueued_at;
             s.end = now;
             s.id = q->id;
+            s.parent_id = q->id;
+            s.parent_kind = obs::SpanKind::Query;
             s.a = q->family;
             s.b = *target_;
             s.v0 = device_;
             if (q->pipeline != kInvalidId)
                 s.v1 = static_cast<std::int64_t>(q->stage) + 1;
             tracer_->record(s);
+            obs::LinkRecord link;
+            link.kind = obs::LinkKind::QueryInBatch;
+            link.at = now;
+            link.from = q->id;
+            link.to = batch_id;
+            link.aux = device_;
+            tracer_->recordLink(link);
         }
         inflight_.push_back(q);
     }
+    inflight_plan_epoch_ = plan_epoch_;
 
     Duration lat = prof.latencyFor(count);
     if (jitter_frac_ > 0.0) {
@@ -373,6 +405,8 @@ Worker::finishBatch(VariantId executed_variant)
             s.start = q->exec_start;
             s.end = now;
             s.id = q->id;
+            s.parent_id = batches_;
+            s.parent_kind = obs::SpanKind::Batch;
             s.a = q->family;
             s.b = executed_variant;
             s.v0 = device_;
@@ -390,10 +424,26 @@ Worker::finishBatch(VariantId executed_variant)
         s.start = batch_start;
         s.end = now;
         s.id = batches_;
+        s.parent_id = inflight_plan_epoch_;
+        s.parent_kind = obs::SpanKind::Apply;
         s.a = device_;
         s.b = executed_variant;
         s.v0 = static_cast<std::int64_t>(inflight_.size());
         tracer_->record(s);
+        obs::LinkRecord device_link;
+        device_link.kind = obs::LinkKind::BatchOnDevice;
+        device_link.at = now;
+        device_link.from = batches_;
+        device_link.to = device_;
+        tracer_->recordLink(device_link);
+        if (inflight_plan_epoch_ != 0) {
+            obs::LinkRecord epoch_link;
+            epoch_link.kind = obs::LinkKind::BatchOnEpoch;
+            epoch_link.at = now;
+            epoch_link.from = batches_;
+            epoch_link.to = inflight_plan_epoch_;
+            tracer_->recordLink(epoch_link);
+        }
     }
     const int batch_size = static_cast<int>(inflight_.size());
     // Done with the batch storage before evaluate(), which may start

@@ -61,6 +61,12 @@ class Worker
     void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
     /**
+     * Record the controller decision whose plan currently governs this
+     * worker (lineage: batches link to the epoch that sized them).
+     */
+    void setPlanEpoch(std::uint64_t epoch) { plan_epoch_ = epoch; }
+
+    /**
      * Attach the cluster health tracker (optional). The worker marks
      * its device Up when a model load completes while Recovering.
      */
@@ -191,6 +197,10 @@ class Worker
     std::optional<VariantId> target_;
     bool loading_ = false;
     std::uint64_t load_epoch_ = 0;
+    /** Controller decision governing the current plan (0 = none). */
+    std::uint64_t plan_epoch_ = 0;
+    /** plan_epoch_ captured when the in-flight batch started. */
+    std::uint64_t inflight_plan_epoch_ = 0;
 
     QueryQueue queue_;
     /** Reused drain buffer: swap/crash/load-failure paths park the

@@ -47,6 +47,15 @@ appendArgs(std::string* out, const SpanRecord& s)
 {
     bool first = true;
     *out += "\"args\":{";
+    // Lineage: stable span id always; the typed causal parent only
+    // when one exists, so root spans carry no dead fields.
+    appendArg(out, "sid", static_cast<std::int64_t>(s.span_id), &first);
+    if (s.parent_id != 0) {
+        appendArg(out, "pk", static_cast<std::int64_t>(s.parent_kind),
+                  &first);
+        appendArg(out, "pid", static_cast<std::int64_t>(s.parent_id),
+                  &first);
+    }
     switch (s.kind) {
       case SpanKind::Query:
         appendArg(out, "qid", static_cast<std::int64_t>(s.id), &first);
@@ -152,15 +161,30 @@ appendPidTid(std::string* out, const SpanRecord& s)
     appendI64(out, tid);
 }
 
-/** Append @p s as a JSON string (minimal escaping: names only). */
+/** Append @p s as a JSON string (full RFC 8259 escaping). */
 void
 appendJsonString(std::string* out, const std::string& s)
 {
     *out += '"';
     for (char c : s) {
-        if (c == '"' || c == '\\')
-            *out += '\\';
-        *out += c;
+        switch (c) {
+          case '"': *out += "\\\""; break;
+          case '\\': *out += "\\\\"; break;
+          case '\n': *out += "\\n"; break;
+          case '\t': *out += "\\t"; break;
+          case '\r': *out += "\\r"; break;
+          case '\b': *out += "\\b"; break;
+          case '\f': *out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                *out += buf;
+            } else {
+                *out += c;
+            }
+        }
     }
     *out += '"';
 }
@@ -207,10 +231,32 @@ toChromeTraceJson(const Tracer& tracer, const TraceNameTables& names)
         appendArgs(&out, s);
         out += '}';
     }
+    out += "],\"links\":[";
+    bool first_link = true;
+    for (const LinkRecord& l : tracer.links()) {
+        if (!first_link)
+            out += ',';
+        first_link = false;
+        out += "{\"k\":\"";
+        out += toString(l.kind);
+        out += "\",\"ts\":";
+        appendI64(&out, l.at);
+        out += ",\"from\":";
+        appendU64(&out, l.from);
+        out += ",\"to\":";
+        appendU64(&out, l.to);
+        out += ",\"aux\":";
+        appendI64(&out, l.aux);
+        out += '}';
+    }
     out += "],\"otherData\":{\"spans_recorded\":";
     appendU64(&out, tracer.recorded());
     out += ",\"spans_dropped\":";
     appendU64(&out, tracer.dropped());
+    out += ",\"links_recorded\":";
+    appendU64(&out, tracer.linksRecorded());
+    out += ",\"links_dropped\":";
+    appendU64(&out, tracer.linksDropped());
     // Name tables (only when provided): id -> name maps and the
     // pipeline stage layout, so offline tools can label raw ids.
     if (!names.families.empty())
@@ -237,6 +283,17 @@ toChromeTraceJson(const Tracer& tracer, const TraceNameTables& names)
             out += ']';
             appendNameArray(&out, "stages", p.stages);
             out += '}';
+        }
+        out += ']';
+    }
+    if (!names.tail_exemplars.empty()) {
+        out += ",\"tail_exemplars\":[";
+        bool first = true;
+        for (const std::uint64_t qid : names.tail_exemplars) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendU64(&out, qid);
         }
         out += ']';
     }

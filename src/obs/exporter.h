@@ -44,6 +44,8 @@ struct TraceNameTables {
     };
     /** pipelines[p] = stage map of pipeline p. */
     std::vector<Pipeline> pipelines;
+    /** Tail-exemplar query ids (sorted); empty emits nothing. */
+    std::vector<std::uint64_t> tail_exemplars;
 };
 
 /** @return the Chrome trace-event JSON document for @p tracer. */

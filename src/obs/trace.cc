@@ -23,11 +23,27 @@ toString(SpanKind kind)
     return "unknown";
 }
 
-Tracer::Tracer(std::size_t capacity) : capacity_(capacity)
+const char*
+toString(LinkKind kind)
+{
+    switch (kind) {
+      case LinkKind::QueryInBatch: return "query_in_batch";
+      case LinkKind::BatchOnDevice: return "batch_on_device";
+      case LinkKind::BatchOnEpoch: return "batch_on_epoch";
+      case LinkKind::StageHandoff: return "stage_handoff";
+      case LinkKind::QueuedBehind: return "queued_behind";
+    }
+    return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity, std::size_t link_capacity)
+    : capacity_(capacity),
+      link_capacity_(link_capacity == 0 ? capacity : link_capacity)
 {
     PROTEUS_ASSERT(capacity >= 1, "tracer capacity must be >= 1");
     const MutexLock lock(mu_);
     ring_.resize(capacity);
+    links_.resize(link_capacity_);
 }
 
 std::vector<SpanRecord>
@@ -48,6 +64,27 @@ Tracer::spans() const
                ring_.end());
     out.insert(out.end(), ring_.begin(),
                ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+    return out;
+}
+
+std::vector<LinkRecord>
+Tracer::links() const
+{
+    const MutexLock lock(mu_);
+    std::vector<LinkRecord> out;
+    out.reserve(linkSizeLocked());
+    if (links_recorded_ <= links_.size()) {
+        out.assign(links_.begin(),
+                   links_.begin() +
+                       static_cast<std::ptrdiff_t>(linkSizeLocked()));
+        return out;
+    }
+    // Full ring: oldest link sits at the next write position.
+    out.insert(out.end(),
+               links_.begin() + static_cast<std::ptrdiff_t>(link_next_),
+               links_.end());
+    out.insert(out.end(), links_.begin(),
+               links_.begin() + static_cast<std::ptrdiff_t>(link_next_));
     return out;
 }
 

@@ -9,6 +9,15 @@
  * payloads are integers keyed by simulated time, so the trace of a run
  * is byte-identical across repetitions with the same seed.
  *
+ * Spans form a causal lineage graph, not just a flat list: every
+ * record carries a stable span id plus a typed causal parent (kind +
+ * domain id, e.g. an Exec span's parent is the Batch that executed
+ * it), and emission sites additionally record typed cross-links
+ * (LinkRecord) into a second preallocated ring — query→batch-joined,
+ * batch→device, batch→controller-epoch, pipeline stage handoffs and
+ * query→query queued-behind edges. Offline tools reconstruct the
+ * critical path of any query from the two rings alone.
+ *
  * The tracer is off by default: every instrumented component holds a
  * `Tracer*` that is nullptr unless ObsOptions::enabled is set, so the
  * disabled hot path costs one pointer test.
@@ -33,6 +42,10 @@ struct ObsOptions {
     bool enabled = false;
     /** Ring-buffer capacity in spans (oldest overwritten on wrap). */
     std::size_t ring_capacity = 1 << 16;
+    /** Lineage link ring capacity (0 = same as ring_capacity). */
+    std::size_t link_capacity = 0;
+    /** Tail-exemplar reservoir size (seeded; SLO-violating queries). */
+    std::size_t tail_exemplars = 32;
 
     /** Time-series sampling period on the simulated clock. */
     Duration sample_interval = seconds(1.0);
@@ -76,19 +89,55 @@ enum class SpanKind : std::uint8_t {
 const char* toString(SpanKind kind);
 
 /**
+ * Typed cross-links of the lineage graph. Links reference domain ids
+ * (query id, batch number, decision number, device id): domain ids
+ * are stable before the referenced span is recorded, so producers can
+ * link forward in causality without knowing span ids.
+ */
+enum class LinkKind : std::uint8_t {
+    QueryInBatch,  ///< from=query id, to=batch it joined; aux=device
+    BatchOnDevice,  ///< from=batch number, to=device that executed it
+    BatchOnEpoch,  ///< from=batch number, to=decision whose plan sized it
+    StageHandoff,  ///< from=query id, to=next stage index; aux=pipeline
+    QueuedBehind,  ///< from=query id, to=query immediately ahead; aux=device
+};
+
+/** @return a short stable name ("query_in_batch", ...) for @p kind. */
+const char* toString(LinkKind kind);
+
+/** One typed lineage edge, fixed-size and trivially copyable. */
+struct LinkRecord {
+    Time at = 0;  ///< simulated time the edge was established
+    std::uint64_t from = 0;
+    std::uint64_t to = 0;
+    std::int64_t aux = 0;
+    LinkKind kind = LinkKind::QueryInBatch;
+};
+
+/**
  * One recorded span. Fixed-size, trivially copyable; field meaning is
  * kind-specific (see SpanKind). Unused fields keep their defaults.
+ *
+ * Lineage: span_id is assigned by Tracer::record (monotonic from 1,
+ * stable across ring wraparound). The causal parent is typed by
+ * domain id — (parent_kind, parent_id) names the parent span by its
+ * own id field, not by span_id, because parents (e.g. the terminal
+ * Query span) are usually recorded after their children. parent_id
+ * == 0 means root (domain ids are 1-based where linked).
  */
 struct SpanRecord {
     Time start = 0;
     Time end = 0;
     std::uint64_t id = 0;  ///< query id, batch number or decision number
+    std::uint64_t span_id = 0;  ///< stable record sequence (1-based)
+    std::uint64_t parent_id = 0;  ///< domain id of parent (0 = root)
     std::int64_t v0 = 0;
     std::int64_t v1 = 0;
     std::int64_t v2 = 0;
     std::uint32_t a = kInvalidId;
     std::uint32_t b = kInvalidId;
     SpanKind kind = SpanKind::Query;
+    SpanKind parent_kind = SpanKind::Query;  ///< valid when parent_id != 0
 
     /** @return span length on the simulated timeline. */
     Duration duration() const { return end - start; }
@@ -102,37 +151,58 @@ struct SpanRecord {
 };
 
 /**
- * Preallocated span ring buffer. Recording is O(1), allocation-free
- * and deterministic; once full, the oldest span is overwritten and
- * counted as dropped.
+ * Preallocated span + link ring buffers. Recording is O(1),
+ * allocation-free and deterministic; once full, the oldest record is
+ * overwritten and counted as dropped. Span ids keep counting across
+ * wraparound, so retained spans keep their stable ids.
  *
- * The ring is mutex-guarded so per-shard controller threads (and the
- * sweep worker pool) can share one tracer: record() takes one
- * uncontended lock, still no allocation. Spans carry simulated time,
- * so interleaving across threads never changes exported bytes — the
- * exporters sort by timeline, not arrival.
+ * The rings are mutex-guarded so per-shard controller threads (and
+ * the sweep worker pool) can share one tracer: record() takes one
+ * uncontended lock, still no allocation. Records carry simulated
+ * time, so interleaving across threads never changes exported bytes —
+ * the exporters sort by timeline, not arrival.
  */
 class Tracer
 {
   public:
-    /** @param capacity ring size in spans (>= 1). */
-    explicit Tracer(std::size_t capacity);
+    /**
+     * @param capacity span ring size (>= 1).
+     * @param link_capacity link ring size (0 = same as @p capacity).
+     */
+    explicit Tracer(std::size_t capacity, std::size_t link_capacity = 0);
 
     Tracer(const Tracer&) = delete;
     Tracer& operator=(const Tracer&) = delete;
 
-    /** Append one span (overwrites the oldest when full). */
+    /**
+     * Append one span (overwrites the oldest when full). The stored
+     * copy gets the next stable span id; @p span itself is untouched.
+     */
     void
     record(const SpanRecord& span)
     {
         const MutexLock lock(mu_);
         ring_[next_] = span;
+        ring_[next_].span_id = ++recorded_;
         next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
-        ++recorded_;
+    }
+
+    /** Append one lineage edge (overwrites the oldest when full). */
+    void
+    recordLink(const LinkRecord& link)
+    {
+        const MutexLock lock(mu_);
+        links_[link_next_] = link;
+        link_next_ =
+            link_next_ + 1 == links_.size() ? 0 : link_next_ + 1;
+        ++links_recorded_;
     }
 
     /** @return every retained span, oldest first (unwraps the ring). */
     std::vector<SpanRecord> spans() const;
+
+    /** @return every retained link, oldest first (unwraps the ring). */
+    std::vector<LinkRecord> links() const;
 
     /** @return total record() calls over the tracer's lifetime. */
     std::uint64_t
@@ -158,8 +228,29 @@ class Tracer
         return sizeLocked();
     }
 
+    /** @return total recordLink() calls over the tracer's lifetime. */
+    std::uint64_t
+    linksRecorded() const
+    {
+        const MutexLock lock(mu_);
+        return links_recorded_;
+    }
+
+    /** @return links lost to ring wraparound. */
+    std::uint64_t
+    linksDropped() const
+    {
+        const MutexLock lock(mu_);
+        return links_recorded_ > links_.size()
+                   ? links_recorded_ - links_.size()
+                   : 0;
+    }
+
     /** @return ring capacity in spans (immutable after construction). */
     std::size_t capacity() const { return capacity_; }
+
+    /** @return link ring capacity (immutable after construction). */
+    std::size_t linkCapacity() const { return link_capacity_; }
 
   private:
     std::uint64_t
@@ -176,11 +267,23 @@ class Tracer
                    : ring_.size();
     }
 
+    std::size_t
+    linkSizeLocked() const PROTEUS_REQUIRES(mu_)
+    {
+        return links_recorded_ < links_.size()
+                   ? static_cast<std::size_t>(links_recorded_)
+                   : links_.size();
+    }
+
     mutable Mutex mu_;
     std::size_t capacity_ = 0;
+    std::size_t link_capacity_ = 0;
     std::vector<SpanRecord> ring_ PROTEUS_GUARDED_BY(mu_);
     std::size_t next_ PROTEUS_GUARDED_BY(mu_) = 0;
     std::uint64_t recorded_ PROTEUS_GUARDED_BY(mu_) = 0;
+    std::vector<LinkRecord> links_ PROTEUS_GUARDED_BY(mu_);
+    std::size_t link_next_ PROTEUS_GUARDED_BY(mu_) = 0;
+    std::uint64_t links_recorded_ PROTEUS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

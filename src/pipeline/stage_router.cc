@@ -54,6 +54,15 @@ StageRouter::onFinished(const Query& query)
         q->status = QueryStatus::Pending;
         q->accuracy = 0.0;
         q->served_by = kInvalidId;
+        if (tracer_) {
+            obs::LinkRecord link;
+            link.kind = obs::LinkKind::StageHandoff;
+            link.at = query.completion;
+            link.from = q->id;
+            link.to = q->stage;
+            link.aux = query.pipeline;
+            tracer_->recordLink(link);
+        }
         PROTEUS_ASSERT(forward_ != nullptr, "no forwarder installed");
         forward_(ctx_, q);
         return;

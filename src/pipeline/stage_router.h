@@ -30,6 +30,7 @@
 
 #include "common/types.h"
 #include "core/query.h"
+#include "obs/trace.h"
 #include "pipeline/pipeline.h"
 
 namespace proteus {
@@ -85,6 +86,9 @@ class StageRouter : public QueryObserver
         ctx_ = ctx;
     }
 
+    /** Attach the span tracer (nullptr = tracing off, the default). */
+    void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
     void onArrival(const Query& query) override;
     void onFinished(const Query& query) override;
 
@@ -99,6 +103,7 @@ class StageRouter : public QueryObserver
     const CompiledPipelines* pipelines_;
     ForwardFn forward_ = nullptr;
     void* ctx_ = nullptr;
+    obs::Tracer* tracer_ = nullptr;
     std::vector<PipelineStats> stats_;
     std::uint64_t forwarded_ = 0;
 };

@@ -52,6 +52,33 @@ TEST(JsonTest, EscapeSequences)
     EXPECT_EQ(v.asString(), "a\nb\t\"c\"\\");
 }
 
+TEST(JsonTest, UnicodeEscapes)
+{
+    JsonValue v;
+    // Control characters (how the trace exporter writes them).
+    ASSERT_TRUE(parseJson(R"("x\u0001y\u001Fz")", &v));
+    EXPECT_EQ(v.asString(), std::string("x\x01y\x1Fz"));
+    // BMP code points become UTF-8 (U+00E9 e-acute, U+20AC euro).
+    ASSERT_TRUE(parseJson(R"("\u00E9\u20AC")", &v));
+    EXPECT_EQ(v.asString(), "\xC3\xA9\xE2\x82\xAC");
+    // Surrogate pair combines to U+1F600.
+    ASSERT_TRUE(parseJson(R"("\uD83D\uDE00")", &v));
+    EXPECT_EQ(v.asString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, RejectsBadUnicodeEscapes)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(parseJson(R"("\u12")", &v, &error));       // truncated
+    EXPECT_FALSE(parseJson(R"("\u12GZ")", &v, &error));     // bad hex
+    EXPECT_FALSE(parseJson(R"("\uD83D")", &v, &error));     // lone high
+    EXPECT_FALSE(parseJson(R"("\uD83Dx")", &v, &error));    // no pair
+    EXPECT_FALSE(parseJson(R"("\uD83D\u0041")", &v,
+                           &error));                        // bad low
+    EXPECT_FALSE(parseJson(R"("\uDE00")", &v, &error));     // lone low
+}
+
 TEST(JsonTest, WhitespaceTolerant)
 {
     JsonValue v;

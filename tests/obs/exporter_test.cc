@@ -105,6 +105,117 @@ TEST(ChromeTraceExport, UnknownVariantSerializesAsMinusOne)
     EXPECT_DOUBLE_EQ(args.numberOr("device", 0.0), -1.0);
 }
 
+TEST(ChromeTraceExport, SpanIdAndParentRideTheArgs)
+{
+    Tracer t(8);
+    SpanRecord root;
+    root.kind = SpanKind::Query;
+    root.start = 0;
+    root.end = 10;
+    root.id = 7;
+    t.record(root);
+
+    SpanRecord child;
+    child.kind = SpanKind::Route;
+    child.start = 0;
+    child.end = 2;
+    child.id = 7;
+    child.parent_id = 7;
+    child.parent_kind = SpanKind::Query;
+    t.record(child);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(toChromeTraceJson(t), &doc, &error)) << error;
+    const auto& events = doc.at("traceEvents").asArray();
+    ASSERT_EQ(events.size(), 2u);
+    // Roots carry only the stable span id; children add the typed
+    // causal parent (pk = parent SpanKind, pid = parent domain id).
+    const JsonValue& rargs = events[0].at("args");
+    EXPECT_DOUBLE_EQ(rargs.numberOr("sid", -1.0), 1.0);
+    EXPECT_FALSE(rargs.has("pk"));
+    EXPECT_FALSE(rargs.has("pid"));
+    const JsonValue& cargs = events[1].at("args");
+    EXPECT_DOUBLE_EQ(cargs.numberOr("sid", -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(cargs.numberOr("pk", -1.0),
+                     static_cast<double>(SpanKind::Query));
+    EXPECT_DOUBLE_EQ(cargs.numberOr("pid", -1.0), 7.0);
+}
+
+TEST(ChromeTraceExport, LinksArrayCarriesTypedEdges)
+{
+    Tracer t(8, 4);
+    LinkRecord l;
+    l.kind = LinkKind::QueryInBatch;
+    l.at = 123;
+    l.from = 9;
+    l.to = 4;
+    l.aux = 2;
+    t.recordLink(l);
+    l.kind = LinkKind::QueuedBehind;
+    l.from = 9;
+    l.to = 8;
+    t.recordLink(l);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(toChromeTraceJson(t), &doc, &error)) << error;
+    const auto& links = doc.at("links").asArray();
+    ASSERT_EQ(links.size(), 2u);
+    EXPECT_EQ(links[0].stringOr("k", ""), "query_in_batch");
+    EXPECT_DOUBLE_EQ(links[0].numberOr("ts", -1.0), 123.0);
+    EXPECT_DOUBLE_EQ(links[0].numberOr("from", -1.0), 9.0);
+    EXPECT_DOUBLE_EQ(links[0].numberOr("to", -1.0), 4.0);
+    EXPECT_DOUBLE_EQ(links[0].numberOr("aux", -1.0), 2.0);
+    EXPECT_EQ(links[1].stringOr("k", ""), "queued_behind");
+    EXPECT_DOUBLE_EQ(
+        doc.at("otherData").numberOr("links_recorded", -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(
+        doc.at("otherData").numberOr("links_dropped", -1.0), 0.0);
+}
+
+TEST(ChromeTraceExport, TailExemplarsLandInOtherData)
+{
+    Tracer t(4);
+    TraceNameTables names;
+    names.tail_exemplars = {11, 42, 97};
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(toChromeTraceJson(t, names), &doc, &error))
+        << error;
+    const auto& tail = doc.at("otherData").at("tail_exemplars").asArray();
+    ASSERT_EQ(tail.size(), 3u);
+    EXPECT_DOUBLE_EQ(tail[1].asNumber(), 42.0);
+}
+
+TEST(ChromeTraceExport, EscapesNameTableStringsAndRoundTrips)
+{
+    Tracer t(4);
+    TraceNameTables names;
+    // Every escape class RFC 8259 requires: quote, backslash, the
+    // named control escapes, and a bare control character.
+    const std::string nasty = "a\"b\\c\nd\te\rf\bg\fh\x01i";
+    names.families = {nasty, "plain"};
+    names.variants = {"slash/ok"};
+
+    const std::string json = toChromeTraceJson(t, names);
+    // Golden escape forms in the raw document.
+    EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh\\u0001i"),
+              std::string::npos);
+    // Forward slash needs no escaping.
+    EXPECT_NE(json.find("\"slash/ok\""), std::string::npos);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(json, &doc, &error)) << error;
+    const auto& fams = doc.at("otherData").at("families").asArray();
+    ASSERT_EQ(fams.size(), 2u);
+    EXPECT_EQ(fams[0].asString(), nasty);
+    EXPECT_EQ(fams[1].asString(), "plain");
+    EXPECT_EQ(doc.at("otherData").at("variants").asArray()[0].asString(),
+              "slash/ok");
+}
+
 TEST(MetricsExport, DumpsAllThreeMetricFamilies)
 {
     MetricsRegistry reg;

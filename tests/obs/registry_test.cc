@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "obs/metrics_registry.h"
 
 namespace proteus {
@@ -76,6 +79,60 @@ TEST(HistogramTest, PercentileWithinBucketError)
         EXPECT_NEAR(est, exact, exact * 0.13) << "p" << p;
         EXPECT_GE(est, h.min());
         EXPECT_LE(est, h.max());
+    }
+}
+
+/** Width of the log bucket of @p h that contains @p value. */
+double
+bucketWidthAt(const Histogram& h, double value)
+{
+    int i = 0;
+    while (h.bucketLowerEdge(i + 1) <= value)
+        ++i;
+    return h.bucketLowerEdge(i + 1) - h.bucketLowerEdge(i);
+}
+
+TEST(HistogramTest, KnownDistributionPercentilesWithinOneBucket)
+{
+    // Feed two fully known distributions through registry-created
+    // histograms (the exact objects the system uses) and require
+    // p50/p95/p99 within one bucket width of the ground truth
+    // computed from the raw samples.
+    MetricsRegistry reg;
+    Histogram* uniform = reg.histogram("lat.uniform_us");
+    Histogram* skewed = reg.histogram("lat.skewed_us");
+
+    std::vector<double> uniform_samples, skewed_samples;
+    const int n = 10'000;
+    for (int i = 1; i <= n; ++i) {
+        // Uniform on [1, 10000] us and a long-tailed quadratic ramp
+        // (most mass low, tail up to 1e6 us).
+        const double u = static_cast<double>(i);
+        const double s =
+            1e6 * (u / n) * (u / n);
+        uniform_samples.push_back(u);
+        skewed_samples.push_back(s);
+        uniform->record(u);
+        skewed->record(s);
+    }
+
+    struct Case {
+        Histogram* h;
+        std::vector<double>* samples;
+        const char* name;
+    };
+    for (const Case& c :
+         {Case{uniform, &uniform_samples, "uniform"},
+          Case{skewed, &skewed_samples, "skewed"}}) {
+        std::sort(c.samples->begin(), c.samples->end());
+        for (double p : {50.0, 95.0, 99.0}) {
+            const std::size_t rank = static_cast<std::size_t>(
+                p / 100.0 * (c.samples->size() - 1));
+            const double exact = (*c.samples)[rank];
+            const double est = c.h->percentile(p);
+            EXPECT_NEAR(est, exact, bucketWidthAt(*c.h, exact))
+                << c.name << " p" << p;
+        }
     }
 }
 

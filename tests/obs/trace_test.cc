@@ -94,6 +94,64 @@ TEST(SpanKindTest, NamesAreStable)
     EXPECT_STREQ(toString(SpanKind::Alarm), "alarm");
 }
 
+TEST(LinkKindTest, NamesAreStable)
+{
+    EXPECT_STREQ(toString(LinkKind::QueryInBatch), "query_in_batch");
+    EXPECT_STREQ(toString(LinkKind::BatchOnDevice), "batch_on_device");
+    EXPECT_STREQ(toString(LinkKind::BatchOnEpoch), "batch_on_epoch");
+    EXPECT_STREQ(toString(LinkKind::StageHandoff), "stage_handoff");
+    EXPECT_STREQ(toString(LinkKind::QueuedBehind), "queued_behind");
+}
+
+TEST(TracerTest, SpanIdsAreStableAcrossWraparound)
+{
+    Tracer t(4);
+    for (std::uint64_t i = 1; i <= 6; ++i)
+        t.record(span(static_cast<Time>(i),
+                      static_cast<Time>(i + 1), 100 + i));
+    // span_id is the 1-based record sequence number: the ring holds
+    // the 3rd..6th records and their ids survive eviction untouched.
+    auto spans = t.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(spans[i].span_id, i + 3) << "index " << i;
+}
+
+LinkRecord
+link(Time at, std::uint64_t from, std::uint64_t to,
+     LinkKind kind = LinkKind::QueryInBatch)
+{
+    LinkRecord l;
+    l.at = at;
+    l.from = from;
+    l.to = to;
+    l.kind = kind;
+    return l;
+}
+
+TEST(TracerTest, LinkRingWrapsOldestFirstAndCountsDrops)
+{
+    Tracer t(8, 3);
+    EXPECT_EQ(t.linkCapacity(), 3u);
+    for (std::uint64_t i = 1; i <= 5; ++i)
+        t.recordLink(link(static_cast<Time>(i), i, i + 10));
+    EXPECT_EQ(t.linksRecorded(), 5u);
+    EXPECT_EQ(t.linksDropped(), 2u);
+
+    auto links = t.links();
+    ASSERT_EQ(links.size(), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(links[i].from, i + 3) << "index " << i;
+}
+
+TEST(TracerTest, LinkCapacityDefaultsToSpanCapacity)
+{
+    Tracer t(5);
+    EXPECT_EQ(t.linkCapacity(), 5u);
+    EXPECT_EQ(t.linksRecorded(), 0u);
+    EXPECT_EQ(t.links().size(), 0u);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace proteus

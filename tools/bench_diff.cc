@@ -62,6 +62,7 @@ directionOf(const std::string& metric)
         {"events_per_sec", Direction::HigherBetter},
         {"slo_violation_ratio", Direction::LowerBetter},
         {"allocs_per_query", Direction::LowerBetter},
+        {"trace_overhead_frac", Direction::LowerBetter},
         {"served_late", Direction::LowerBetter},
         {"failed_jobs", Direction::LowerBetter},
         {"violations", Direction::LowerBetter},
@@ -92,6 +93,21 @@ isCiKey(const std::string& metric)
     return metric.size() > kCiSuffix.size() &&
            metric.compare(metric.size() - kCiSuffix.size(),
                           kCiSuffix.size(), kCiSuffix) == 0;
+}
+
+void
+usage(std::ostream& os)
+{
+    os << "usage: bench_diff <baseline.json|dir> <candidate.json|dir> "
+          "[options]\n"
+          "\n"
+          "options:\n"
+          "  --rel FRAC   relative tolerance band (default 0.10)\n"
+          "  --abs DELTA  absolute tolerance band (default 0.01)\n"
+          "  --stats      CI-overlap gating where _ci95 data exists\n"
+          "  --help       this text\n"
+          "\n"
+          "exit codes: 0 ok, 1 findings or error, 2 usage\n";
 }
 
 struct Finding {
@@ -255,7 +271,10 @@ main(int argc, char** argv)
     Tolerances tol;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--rel" && i + 1 < argc) {
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--rel" && i + 1 < argc) {
             tol.rel = std::atof(argv[++i]);
         } else if (arg == "--abs" && i + 1 < argc) {
             tol.abs = std::atof(argv[++i]);
@@ -263,15 +282,14 @@ main(int argc, char** argv)
             tol.stats = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "bench_diff: unknown option " << arg << "\n";
+            usage(std::cerr);
             return 2;
         } else {
             paths.push_back(arg);
         }
     }
     if (paths.size() != 2) {
-        std::cerr << "usage: bench_diff <baseline.json|dir> "
-                     "<candidate.json|dir> [--rel <frac>] "
-                     "[--abs <delta>] [--stats]\n";
+        usage(std::cerr);
         return 2;
     }
 

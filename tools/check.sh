@@ -90,12 +90,20 @@ trace_smoke() {
          PROTEUS_TIMELINE_FILE=timeline_smoke.json \
          ./bench/fig05_bursty > /dev/null)
     "${dir}/tools/proteus_trace" "${dir}/trace_smoke.json" > /dev/null
+    echo "=== obs smoke: lineage round-trip (critical path + blame) ==="
+    "${dir}/tools/proteus_trace" "${dir}/trace_smoke.json" \
+        --critical-path --blame-json "${dir}/blame_smoke.json" > /dev/null
+    # The blame JSON must carry at least one family row with time
+    # attributed (a zero table means the lineage graph fell apart).
+    grep -q '"by_family":{"' "${dir}/blame_smoke.json"
+    grep -q '"execution_us":' "${dir}/blame_smoke.json"
     echo "=== obs smoke: observability config + proteus_report ==="
     (cd "${dir}" &&
          ./tools/proteus_sim ../config/observability.json --quiet \
              > /dev/null &&
          ./tools/proteus_report observability_timeline.json \
              --trace observability_trace.json \
+             --blame blame_smoke.json \
              --out observability_report.html > /dev/null)
     echo "=== obs smoke: bench_diff self-compare ==="
     "${dir}/tools/bench_diff" "${dir}/BENCH_fig05_bursty.json" \

@@ -10,7 +10,11 @@
  *
  * Usage:
  *   proteus_report <timeline.json> [--trace <trace.json>]
- *                  [--out <report.html>] [--title <title>]
+ *                  [--blame <blame.json>] [--out <report.html>]
+ *                  [--title <title>]
+ *
+ * Exit codes: 0 = ok, 1 = findings or error (unreadable input,
+ * unwritable output), 2 = usage.
  *
  * Channels named "<group>.<entity>.<metric>" are folded into one
  * chart per "<group>.<metric>" with one series per entity (all
@@ -59,6 +63,25 @@ struct PhaseStat {
     double total_us = 0.0;
     double max_us = 0.0;
 };
+
+void
+usage(std::ostream& os)
+{
+    os << "usage: proteus_report <timeline.json> [options]\n"
+          "\n"
+          "options:\n"
+          "  --trace FILE   fold a Chrome trace's phase breakdown into "
+          "the report\n"
+          "  --blame FILE   render a proteus_trace --blame-json "
+          "critical-path\n"
+          "                 decomposition as a per-segment stacked "
+          "chart\n"
+          "  --out FILE     output path (default report.html)\n"
+          "  --title TEXT   report title\n"
+          "  --help         this text\n"
+          "\n"
+          "exit codes: 0 ok, 1 findings or error, 2 usage\n";
+}
 
 std::string
 fmt(double v)
@@ -362,6 +385,137 @@ appendPhaseTable(std::string* html,
     *html += "</table>\n</section>\n";
 }
 
+/** Critical-path segment kinds in partition order (fixed palette). */
+const char* const kSegmentKinds[] = {
+    "route",       "stage_handoff",    "queue_behind_batch",
+    "epoch_stall", "batch_formation",  "execution",
+    "stall",
+};
+constexpr std::size_t kNumSegmentKinds =
+    sizeof(kSegmentKinds) / sizeof(kSegmentKinds[0]);
+
+/** Palette slot (1-based) of segment kind @p kind; 8 = unknown. */
+std::size_t
+segmentSlot(const std::string& kind)
+{
+    for (std::size_t i = 0; i < kNumSegmentKinds; ++i) {
+        if (kind == kSegmentKinds[i])
+            return i + 1;
+    }
+    return 8;
+}
+
+/**
+ * Render the proteus_trace --blame-json decomposition: one stacked
+ * horizontal bar per exemplar (segments laid out on a shared
+ * end-to-end time axis, colored by kind) plus the per-family blame
+ * table. Exact partition means the colored segments tile each bar
+ * with no gaps.
+ */
+void
+appendBlameSection(std::string* html, const JsonValue& blame)
+{
+    if (!blame.has("exemplars") || !blame.at("exemplars").isArray())
+        return;
+    const auto& exemplars = blame.at("exemplars").asArray();
+    if (exemplars.empty())
+        return;
+    double max_e2e = 1.0;
+    for (const JsonValue& e : exemplars)
+        max_e2e = std::max(max_e2e, e.numberOr("e2e_us", 0.0));
+
+    constexpr int kBarH = 18;
+    constexpr int kGap = 8;
+    constexpr int kLabelW = 96;
+    const int height = kPadT +
+                       static_cast<int>(exemplars.size()) *
+                           (kBarH + kGap) +
+                       kPadB;
+    const double x0 = kLabelW;
+    const double x1 = kChartW - kPadR;
+    const auto xOf = [&](double us) {
+        return x0 + us / max_e2e * (x1 - x0);
+    };
+
+    *html += "<section class=\"card\">\n";
+    *html += "<h2>critical-path blame (" +
+             escapeHtml(blame.stringOr("exemplar_source", "exemplars")) +
+             ")</h2>\n";
+    *html += "<svg class=\"blame\" viewBox=\"0 0 " +
+             std::to_string(kChartW) + " " + std::to_string(height) +
+             "\" role=\"img\" aria-label=\"critical-path blame\">\n";
+    int y = kPadT;
+    for (const JsonValue& e : exemplars) {
+        const long long qid =
+            static_cast<long long>(e.numberOr("qid", -1.0));
+        *html += "<text class=\"tick\" x=\"" + fmt(x0 - 8) + "\" y=\"" +
+                 std::to_string(y + kBarH - 5) +
+                 "\" text-anchor=\"end\">q" + std::to_string(qid) +
+                 "</text>\n";
+        if (e.has("segments") && e.at("segments").isArray()) {
+            for (const JsonValue& s : e.at("segments").asArray()) {
+                const double start = s.numberOr("start_us", 0.0);
+                const double dur = s.numberOr("dur_us", 0.0);
+                if (dur <= 0.0)
+                    continue;
+                const std::string kind = s.stringOr("kind", "");
+                *html += "<rect class=\"s" +
+                         std::to_string(segmentSlot(kind)) + "\" x=\"" +
+                         fmt(xOf(start)) + "\" y=\"" +
+                         std::to_string(y) + "\" width=\"" +
+                         fmt(std::max(0.5, xOf(start + dur) -
+                                               xOf(start))) +
+                         "\" height=\"" + std::to_string(kBarH) +
+                         "\"><title>" + escapeHtml(kind) + " " +
+                         fmt(dur / 1000.0) + " ms</title></rect>\n";
+            }
+        }
+        y += kBarH + kGap;
+    }
+    *html += "<text class=\"tick\" x=\"" + fmt((x0 + x1) / 2) +
+             "\" y=\"" + std::to_string(height - 4) +
+             "\" text-anchor=\"middle\">0 .. " + fmt(max_e2e / 1000.0) +
+             " ms since arrival</text>\n";
+    *html += "</svg>\n";
+
+    *html += "<div class=\"legend\">";
+    for (std::size_t i = 0; i < kNumSegmentKinds; ++i) {
+        *html += "<span class=\"key\"><span class=\"swatch s" +
+                 std::to_string(i + 1) + "\"></span>" +
+                 escapeHtml(kSegmentKinds[i]) + "</span>";
+    }
+    *html += "</div>\n";
+
+    if (blame.has("by_family")) {
+        const JsonValue& fams = blame.at("by_family");
+        *html += "<details open><summary>blame by family "
+                 "(ms)</summary>\n<table><tr><th>family</th>"
+                 "<th>queries</th>";
+        for (std::size_t i = 0; i < kNumSegmentKinds; ++i)
+            *html += "<th>" + escapeHtml(kSegmentKinds[i]) + "</th>";
+        *html += "</tr>\n";
+        for (const std::string& fam : fams.keys()) {
+            const JsonValue& row = fams.at(fam);
+            *html += "<tr><td>" + escapeHtml(fam) + "</td><td>" +
+                     std::to_string(static_cast<long long>(
+                         row.numberOr("queries", 0.0))) +
+                     "</td>";
+            for (std::size_t i = 0; i < kNumSegmentKinds; ++i) {
+                *html +=
+                    "<td>" +
+                    fmt(row.numberOr(std::string(kSegmentKinds[i]) +
+                                         "_us",
+                                     0.0) /
+                        1000.0) +
+                    "</td>";
+            }
+            *html += "</tr>\n";
+        }
+        *html += "</table></details>\n";
+    }
+    *html += "</section>\n";
+}
+
 /**
  * Style block: palette slots and chrome as CSS custom properties so
  * the dark values swap in one place; chart bodies reference roles,
@@ -408,6 +562,16 @@ svg.chart polyline { fill: none; stroke-width: 2;
 .s3 { stroke: var(--series-3); } .s4 { stroke: var(--series-4); }
 .s5 { stroke: var(--series-5); } .s6 { stroke: var(--series-6); }
 .s7 { stroke: var(--series-7); } .s8 { stroke: var(--series-8); }
+svg.blame { width: 100%; height: auto; display: block; }
+svg.blame rect { stroke: none; }
+svg.blame rect.s1 { fill: var(--series-1); }
+svg.blame rect.s2 { fill: var(--series-2); }
+svg.blame rect.s3 { fill: var(--series-3); }
+svg.blame rect.s4 { fill: var(--series-4); }
+svg.blame rect.s5 { fill: var(--series-5); }
+svg.blame rect.s6 { fill: var(--series-6); }
+svg.blame rect.s7 { fill: var(--series-7); }
+svg.blame rect.s8 { fill: var(--series-8); }
 .grid { stroke: var(--grid); stroke-width: 1; }
 .axis { stroke: var(--axis); stroke-width: 1; }
 .cross { stroke: var(--axis); stroke-width: 1; }
@@ -510,31 +674,37 @@ main(int argc, char** argv)
 {
     std::string timeline_path;
     std::string trace_path;
+    std::string blame_path;
     std::string out_path = "report.html";
     std::string title = "Proteus run report";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--trace" && i + 1 < argc) {
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (arg == "--blame" && i + 1 < argc) {
+            blame_path = argv[++i];
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
         } else if (arg == "--title" && i + 1 < argc) {
             title = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "proteus_report: unknown option " << arg << "\n";
+            usage(std::cerr);
             return 2;
         } else if (timeline_path.empty()) {
             timeline_path = arg;
         } else {
             std::cerr << "proteus_report: unexpected argument " << arg
                       << "\n";
+            usage(std::cerr);
             return 2;
         }
     }
     if (timeline_path.empty()) {
-        std::cerr << "usage: proteus_report <timeline.json> "
-                     "[--trace <trace.json>] [--out <report.html>] "
-                     "[--title <title>]\n";
+        usage(std::cerr);
         return 2;
     }
 
@@ -543,7 +713,7 @@ main(int argc, char** argv)
     if (!proteus::parseJsonFile(timeline_path, &timeline, &error)) {
         std::cerr << "proteus_report: cannot parse " << timeline_path
                   << ": " << error << "\n";
-        return 2;
+        return 1;
     }
     std::vector<double> times;
     if (timeline.has("t_s") && timeline.at("t_s").isArray()) {
@@ -558,9 +728,16 @@ main(int argc, char** argv)
         if (!proteus::parseJsonFile(trace_path, &trace, &error)) {
             std::cerr << "proteus_report: cannot parse " << trace_path
                       << ": " << error << "\n";
-            return 2;
+            return 1;
         }
         phases = phaseStats(trace);
+    }
+    JsonValue blame;
+    if (!blame_path.empty() &&
+        !proteus::parseJsonFile(blame_path, &blame, &error)) {
+        std::cerr << "proteus_report: cannot parse " << blame_path
+                  << ": " << error << "\n";
+        return 1;
     }
 
     std::string html;
@@ -586,6 +763,7 @@ main(int argc, char** argv)
 
     for (const auto& [key, chart] : charts)
         appendChart(&html, chart, times);
+    appendBlameSection(&html, blame);
     appendPhaseTable(&html, phases);
 
     if (charts.empty())
@@ -596,7 +774,7 @@ main(int argc, char** argv)
     std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
     if (!out || !(out << html)) {
         std::cerr << "proteus_report: cannot write " << out_path << "\n";
-        return 2;
+        return 1;
     }
     std::cout << "proteus_report: wrote " << out_path << " ("
               << charts.size() << " charts, " << phases.size()

@@ -7,13 +7,20 @@
  * Prints a per-stage latency breakdown (route wait, queue wait,
  * execution, end-to-end) with p50/p95/p99 per model variant, the
  * controller/solver decision summary, and the top-N slowest queries.
+ * With --critical-path, reconstructs the causal lineage graph from
+ * the trace and decomposes each tail exemplar's end-to-end latency
+ * into the exact segment partition (obs/lineage.h), aggregating
+ * per-family/per-variant blame tables (JSON via --blame-json).
  *
- * Usage:
- *   proteus_trace <trace.json> [--top N]
+ * Exit codes: 0 = ok, 1 = findings or error (unreadable trace,
+ * inexact partition), 2 = usage.
  */
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -22,10 +29,33 @@
 #include "common/json.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/lineage.h"
+#include "obs/trace.h"
 
 namespace {
 
 using proteus::JsonValue;
+
+void
+usage(std::ostream& os)
+{
+    os << "usage: proteus_trace <trace.json> [options]\n"
+          "\n"
+          "options:\n"
+          "  --top N              rows in the slowest-queries table "
+          "(default 10)\n"
+          "  --critical-path [Q]  decompose query Q's latency into the "
+          "exact segment\n"
+          "                       partition; without Q, analyze the "
+          "trace's tail\n"
+          "                       exemplars (fallback: top-N slowest)\n"
+          "  --blame-json PATH    write the per-family/per-variant "
+          "blame tables as\n"
+          "                       JSON (implies --critical-path)\n"
+          "  --help               this text\n"
+          "\n"
+          "exit codes: 0 ok, 1 findings or error, 2 usage\n";
+}
 
 /** One parsed trace event (times in microseconds). */
 struct Event {
@@ -97,26 +127,193 @@ parseNameTables(const JsonValue& doc)
     return names;
 }
 
+/**
+ * Reverse the exporter's per-kind args mapping: rebuild the
+ * SpanRecords the tracer held so the lineage analyzer runs on trace
+ * files exactly as it runs on a live tracer.
+ */
+std::vector<proteus::obs::SpanRecord>
+reconstructSpans(const std::vector<Event>& events)
+{
+    using proteus::kInvalidId;
+    using proteus::obs::SpanKind;
+    using proteus::obs::SpanRecord;
+    static const std::map<std::string, SpanKind> kKinds = {
+        {"query", SpanKind::Query},   {"route", SpanKind::Route},
+        {"queue", SpanKind::Queue},   {"exec", SpanKind::Exec},
+        {"batch", SpanKind::Batch},   {"load", SpanKind::Load},
+        {"solve", SpanKind::Solve},   {"apply", SpanKind::Apply},
+        {"alarm", SpanKind::Alarm},   {"slo_alarm", SpanKind::SloAlarm},
+    };
+    const auto i64 = [](const Event& e, const char* key,
+                        std::int64_t fallback) {
+        auto it = e.args.find(key);
+        return it == e.args.end()
+                   ? fallback
+                   : static_cast<std::int64_t>(std::llround(it->second));
+    };
+    const auto variantOf = [&](const Event& e) {
+        const std::int64_t v = i64(e, "variant", -1);
+        return v < 0 ? kInvalidId : static_cast<std::uint32_t>(v);
+    };
+    std::vector<SpanRecord> spans;
+    spans.reserve(events.size());
+    for (const Event& e : events) {
+        const auto kit = kKinds.find(e.name);
+        if (kit == kKinds.end())
+            continue;
+        SpanRecord s;
+        s.kind = kit->second;
+        s.start = static_cast<proteus::Time>(std::llround(e.ts));
+        s.end = s.start + static_cast<proteus::Time>(std::llround(e.dur));
+        s.span_id = static_cast<std::uint64_t>(i64(e, "sid", 0));
+        const std::int64_t pid = i64(e, "pid", 0);
+        if (pid != 0) {
+            s.parent_id = static_cast<std::uint64_t>(pid);
+            s.parent_kind = static_cast<SpanKind>(i64(e, "pk", 0));
+        }
+        switch (s.kind) {
+          case SpanKind::Query:
+            s.id = static_cast<std::uint64_t>(i64(e, "qid", 0));
+            s.a = static_cast<std::uint32_t>(i64(e, "family", 0));
+            s.b = variantOf(e);
+            s.v0 = i64(e, "status", 0);
+            s.v1 = i64(e, "device", -1);
+            s.v2 = e.args.count("pipeline") ? i64(e, "pipeline", 0) + 1
+                                            : 0;
+            break;
+          case SpanKind::Route:
+            s.id = static_cast<std::uint64_t>(i64(e, "qid", 0));
+            s.a = static_cast<std::uint32_t>(i64(e, "family", 0));
+            s.v0 = e.args.count("stage") ? i64(e, "stage", 0) + 1 : 0;
+            break;
+          case SpanKind::Queue:
+          case SpanKind::Exec:
+            s.id = static_cast<std::uint64_t>(i64(e, "qid", 0));
+            s.a = static_cast<std::uint32_t>(i64(e, "family", 0));
+            s.b = variantOf(e);
+            s.v0 = i64(e, "device", 0);
+            s.v1 = e.args.count("stage") ? i64(e, "stage", 0) + 1 : 0;
+            break;
+          case SpanKind::Batch:
+            s.id = static_cast<std::uint64_t>(i64(e, "batch", 0));
+            s.a = static_cast<std::uint32_t>(i64(e, "device", 0));
+            s.b = static_cast<std::uint32_t>(i64(e, "variant", 0));
+            s.v0 = i64(e, "size", 0);
+            break;
+          case SpanKind::Load:
+            s.a = static_cast<std::uint32_t>(i64(e, "device", 0));
+            s.b = static_cast<std::uint32_t>(i64(e, "variant", 0));
+            break;
+          case SpanKind::Solve:
+            s.id = static_cast<std::uint64_t>(i64(e, "decision", 0));
+            s.v0 = i64(e, "nodes", 0);
+            s.v1 = i64(e, "simplex_iters", 0);
+            s.v2 = i64(e, "gap_ppm", 0);
+            break;
+          case SpanKind::Apply:
+            s.id = static_cast<std::uint64_t>(i64(e, "decision", 0));
+            s.v0 = i64(e, "plans", 0);
+            break;
+          case SpanKind::Alarm:
+            s.a = static_cast<std::uint32_t>(i64(e, "family", 0));
+            break;
+          case SpanKind::SloAlarm:
+            s.a = static_cast<std::uint32_t>(i64(e, "family", 0));
+            s.v0 = i64(e, "raised", 0);
+            s.v1 = i64(e, "burn_milli", 0);
+            s.v2 = i64(e, "window_completed", 0);
+            break;
+        }
+        spans.push_back(s);
+    }
+    return spans;
+}
+
+/** Parse the top-level "links" array (empty on pre-lineage traces). */
+std::vector<proteus::obs::LinkRecord>
+parseLinks(const JsonValue& doc)
+{
+    using proteus::obs::LinkKind;
+    using proteus::obs::LinkRecord;
+    std::vector<LinkRecord> links;
+    if (!doc.has("links"))
+        return links;
+    static const std::map<std::string, LinkKind> kKinds = {
+        {"query_in_batch", LinkKind::QueryInBatch},
+        {"batch_on_device", LinkKind::BatchOnDevice},
+        {"batch_on_epoch", LinkKind::BatchOnEpoch},
+        {"stage_handoff", LinkKind::StageHandoff},
+        {"queued_behind", LinkKind::QueuedBehind},
+    };
+    for (const JsonValue& jl : doc.at("links").asArray()) {
+        const auto kit = kKinds.find(jl.stringOr("k", ""));
+        if (kit == kKinds.end())
+            continue;
+        LinkRecord l;
+        l.kind = kit->second;
+        l.at = static_cast<proteus::Time>(
+            std::llround(jl.numberOr("ts", 0.0)));
+        l.from = static_cast<std::uint64_t>(
+            std::llround(jl.numberOr("from", 0.0)));
+        l.to = static_cast<std::uint64_t>(
+            std::llround(jl.numberOr("to", 0.0)));
+        l.aux = static_cast<std::int64_t>(
+            std::llround(jl.numberOr("aux", 0.0)));
+        links.push_back(l);
+    }
+    return links;
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
     using namespace proteus;
-    if (argc < 2) {
-        std::cerr << "usage: proteus_trace <trace.json> [--top N]\n";
-        return 2;
-    }
-    const std::string path = argv[1];
+    std::string path;
     int top_n = 10;
-    for (int i = 2; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--top" && i + 1 < argc) {
+    bool critical_path = false;
+    long long critical_qid = -1;
+    std::string blame_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--top" && i + 1 < argc) {
             top_n = std::max(1, std::atoi(argv[++i]));
+        } else if (arg == "--critical-path") {
+            critical_path = true;
+            // Optional query id operand (digits only).
+            if (i + 1 < argc) {
+                const std::string next = argv[i + 1];
+                if (!next.empty() &&
+                    next.find_first_not_of("0123456789") ==
+                        std::string::npos) {
+                    critical_qid = std::atoll(argv[++i]);
+                }
+            }
+        } else if (arg == "--blame-json" && i + 1 < argc) {
+            critical_path = true;
+            blame_path = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "proteus_trace: unknown option " << arg
+                      << "\n";
+            usage(std::cerr);
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
         } else {
-            std::cerr << "unknown argument: " << arg << "\n";
+            std::cerr << "proteus_trace: unexpected argument " << arg
+                      << "\n";
+            usage(std::cerr);
             return 2;
         }
+    }
+    if (path.empty()) {
+        usage(std::cerr);
+        return 2;
     }
 
     JsonValue doc;
@@ -379,5 +576,267 @@ main(int argc, char** argv)
                                     queries.size())
               << " slowest queries --\n";
     slow.print(std::cout);
+
+    if (!critical_path)
+        return 0;
+
+    // Critical-path analysis: rebuild the lineage records from the
+    // trace and run the exact-partition decomposition on the chosen
+    // queries (explicit id > recorded tail exemplars > slowest).
+    const obs::LineageIndex index(reconstructSpans(events),
+                                  parseLinks(doc));
+    std::vector<std::uint64_t> exemplar_ids;
+    const char* exemplar_source = "";
+    if (critical_qid >= 0) {
+        exemplar_ids.push_back(
+            static_cast<std::uint64_t>(critical_qid));
+        exemplar_source = "requested query";
+    } else {
+        if (doc.has("otherData") &&
+            doc.at("otherData").has("tail_exemplars")) {
+            for (const JsonValue& q :
+                 doc.at("otherData").at("tail_exemplars").asArray()) {
+                exemplar_ids.push_back(static_cast<std::uint64_t>(
+                    std::llround(q.asNumber())));
+            }
+            exemplar_source = "tail exemplars (seeded reservoir)";
+        }
+        if (exemplar_ids.empty()) {
+            exemplar_ids = index.slowestQueries(
+                static_cast<std::size_t>(top_n));
+            exemplar_source = "slowest traced queries (fallback)";
+        }
+    }
+
+    std::vector<obs::CriticalPath> paths;
+    std::size_t missing = 0, inexact = 0;
+    const auto analyzeInto = [&](const std::vector<std::uint64_t>& ids) {
+        for (const std::uint64_t qid : ids) {
+            obs::CriticalPath cp = index.analyze(qid);
+            if (cp.family == kInvalidId) {
+                ++missing;
+                continue;
+            }
+            if (!cp.exact())
+                ++inexact;
+            paths.push_back(std::move(cp));
+        }
+    };
+    analyzeInto(exemplar_ids);
+    // Reservoir exemplars sample the whole run while the span ring
+    // keeps only the newest spans, so exemplars can be evicted from
+    // the trace. That is not an error: fall back to the slowest
+    // queries that are still fully present.
+    if (paths.empty() && critical_qid < 0 && !exemplar_ids.empty()) {
+        missing = 0;
+        exemplar_source = "slowest traced queries (exemplars evicted)";
+        analyzeInto(
+            index.slowestQueries(static_cast<std::size_t>(top_n)));
+    }
+
+    const auto us_ms = [](Duration d) {
+        return ms(static_cast<double>(d));
+    };
+    std::cout << "\n-- critical path: " << paths.size() << " "
+              << exemplar_source << " --\n";
+
+    // One summary row per exemplar: e2e plus the per-kind totals of
+    // its partition (columns sum to e2e exactly).
+    TextTable summary;
+    {
+        std::vector<std::string> header = {"qid", "family", "variant",
+                                           "e2e_ms"};
+        for (std::size_t k = 0; k < obs::kNumSegmentKinds; ++k)
+            header.push_back(std::string(obs::toString(
+                                 static_cast<obs::SegmentKind>(k))) +
+                             "_ms");
+        summary.setHeader(header);
+    }
+    for (const obs::CriticalPath& cp : paths) {
+        Duration by_kind[obs::kNumSegmentKinds] = {};
+        for (const obs::Segment& s : cp.segments)
+            by_kind[static_cast<std::size_t>(s.kind)] += s.duration();
+        std::vector<std::string> row = {
+            std::to_string(cp.query),
+            NameTables::label(names.families,
+                              static_cast<long long>(cp.family)),
+            cp.variant == kInvalidId
+                ? std::string("-")
+                : NameTables::label(names.variants,
+                                    static_cast<long long>(cp.variant)),
+            us_ms(cp.total())};
+        for (const Duration d : by_kind)
+            row.push_back(us_ms(d));
+        summary.addRow(row);
+    }
+    summary.print(std::cout);
+
+    // Detailed segment walk for an explicitly requested query.
+    if (critical_qid >= 0 && !paths.empty()) {
+        const obs::CriticalPath& cp = paths.front();
+        TextTable walk;
+        walk.setHeader({"segment", "start_ms", "dur_ms", "device",
+                        "ref"});
+        for (const obs::Segment& s : cp.segments) {
+            walk.addRow({obs::toString(s.kind),
+                         us_ms(s.start - cp.arrival),
+                         us_ms(s.duration()),
+                         s.device < 0 ? std::string("-")
+                                      : std::to_string(s.device),
+                         s.ref == 0 ? std::string("-")
+                                    : std::to_string(s.ref)});
+        }
+        std::cout << "\n-- query " << cp.query << " segment walk ("
+                  << (cp.exact() ? "exact" : "INEXACT")
+                  << " partition) --\n";
+        walk.print(std::cout);
+    }
+
+    // Blame tables: per-family / per-variant totals over the set.
+    const obs::BlameTables blame = obs::aggregateBlame(paths);
+    const auto printBlame =
+        [&](const char* title,
+            const std::unordered_map<std::uint32_t, obs::BlameRow>& rows,
+            const std::vector<std::string>& name_table,
+            bool variant_keys) {
+            if (rows.empty())
+                return;
+            TextTable bt;
+            std::vector<std::string> header = {variant_keys ? "variant"
+                                                            : "family",
+                                               "queries"};
+            for (std::size_t k = 0; k < obs::kNumSegmentKinds; ++k)
+                header.push_back(
+                    std::string(obs::toString(
+                        static_cast<obs::SegmentKind>(k))) +
+                    "_ms");
+            bt.setHeader(header);
+            std::vector<std::uint32_t> keys;
+            keys.reserve(rows.size());
+            for (const auto& [key, row] : rows)
+                keys.push_back(key);
+            std::sort(keys.begin(), keys.end());
+            for (const std::uint32_t key : keys) {
+                const obs::BlameRow& row = rows.at(key);
+                std::vector<std::string> cells = {
+                    variant_keys && key == kInvalidId
+                        ? std::string("(dropped)")
+                        : NameTables::label(name_table,
+                                            static_cast<long long>(key)),
+                    std::to_string(row.queries)};
+                for (const Duration d : row.by_kind)
+                    cells.push_back(us_ms(d));
+                bt.addRow(cells);
+            }
+            std::cout << "\n-- blame " << title << " --\n";
+            bt.print(std::cout);
+        };
+    printBlame("by family", blame.by_family, names.families, false);
+    printBlame("by variant", blame.by_variant, names.variants, true);
+
+    if (!blame_path.empty()) {
+        std::string out = "{\"schema\":1,\"trace\":\"";
+        out += path;
+        out += "\",\"exemplar_source\":\"";
+        out += exemplar_source;
+        out += "\",\"exemplars\":[";
+        bool first = true;
+        for (const obs::CriticalPath& cp : paths) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += "{\"qid\":" + std::to_string(cp.query);
+            out += ",\"family\":" + std::to_string(cp.family);
+            out += ",\"variant\":" +
+                   std::to_string(
+                       cp.variant == kInvalidId
+                           ? -1
+                           : static_cast<std::int64_t>(cp.variant));
+            out += ",\"status\":" + std::to_string(cp.status);
+            out += ",\"pipeline\":" + std::to_string(cp.pipeline);
+            out += ",\"e2e_us\":" + std::to_string(cp.total());
+            out += ",\"exact\":";
+            out += cp.exact() ? "true" : "false";
+            out += ",\"segments\":[";
+            bool sfirst = true;
+            for (const obs::Segment& s : cp.segments) {
+                if (!sfirst)
+                    out += ',';
+                sfirst = false;
+                out += "{\"kind\":\"";
+                out += obs::toString(s.kind);
+                out += "\",\"start_us\":" +
+                       std::to_string(s.start - cp.arrival);
+                out += ",\"dur_us\":" + std::to_string(s.duration());
+                out += ",\"device\":" + std::to_string(s.device);
+                out += ",\"ref\":" + std::to_string(s.ref);
+                out += '}';
+            }
+            out += "]}";
+        }
+        out += "]";
+        const auto appendBlame =
+            [&](const char* key,
+                const std::unordered_map<std::uint32_t, obs::BlameRow>&
+                    rows,
+                const std::vector<std::string>& name_table,
+                bool variant_keys) {
+                out += ",\"";
+                out += key;
+                out += "\":{";
+                std::vector<std::uint32_t> keys;
+                keys.reserve(rows.size());
+                for (const auto& [k, row] : rows)
+                    keys.push_back(k);
+                std::sort(keys.begin(), keys.end());
+                bool bfirst = true;
+                for (const std::uint32_t k : keys) {
+                    const obs::BlameRow& row = rows.at(k);
+                    if (!bfirst)
+                        out += ',';
+                    bfirst = false;
+                    out += '"';
+                    out += variant_keys && k == kInvalidId
+                               ? std::string("(dropped)")
+                               : NameTables::label(
+                                     name_table,
+                                     static_cast<long long>(k));
+                    out += "\":{\"queries\":" +
+                           std::to_string(row.queries);
+                    for (std::size_t s = 0;
+                         s < obs::kNumSegmentKinds; ++s) {
+                        out += ",\"";
+                        out += obs::toString(
+                            static_cast<obs::SegmentKind>(s));
+                        out += "_us\":" +
+                               std::to_string(row.by_kind[s]);
+                    }
+                    out += '}';
+                }
+                out += '}';
+            };
+        appendBlame("by_family", blame.by_family, names.families,
+                    false);
+        appendBlame("by_variant", blame.by_variant, names.variants,
+                    true);
+        out += "}\n";
+        std::ofstream f(blame_path,
+                        std::ios::binary | std::ios::trunc);
+        if (!f || !f.write(out.data(),
+                           static_cast<std::streamsize>(out.size()))) {
+            std::cerr << "proteus_trace: cannot write " << blame_path
+                      << "\n";
+            return 1;
+        }
+        std::cout << "\nblame tables written to " << blame_path
+                  << "\n";
+    }
+
+    if (inexact > 0 || (critical_qid >= 0 && missing > 0)) {
+        std::cerr << "proteus_trace: " << inexact
+                  << " inexact partition(s), " << missing
+                  << " missing query span(s)\n";
+        return 1;
+    }
     return 0;
 }
